@@ -1,0 +1,118 @@
+// Command figures regenerates the paper's evaluation figures by running
+// the full simulation sweeps:
+//
+//	Figure 2 - address-compression coverage per application
+//	Figure 5 - message-class breakdown on the interconnect
+//	Figure 6 - normalized execution time (top) and link ED^2P (bottom)
+//	Figure 7 - normalized full-CMP ED^2P
+//
+// Usage:
+//
+//	figures                 # everything at reporting scale (minutes)
+//	figures -figure 6       # one figure
+//	figures -quick          # smoke-test scale (seconds)
+//	figures -csv            # CSV output
+//	figures -refs 24000 -warmup 12000   # custom scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tilesim/internal/figures"
+	"tilesim/internal/stats"
+)
+
+func main() {
+	var (
+		figure   = flag.Int("figure", 0, "figure number (2, 5, 6 or 7); 0 runs all")
+		quick    = flag.Bool("quick", false, "smoke-test scale")
+		csv      = flag.Bool("csv", false, "emit CSV")
+		refs     = flag.Int("refs", 0, "override references per core")
+		warmup   = flag.Int("warmup", 0, "override warmup references per core")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		ablation = flag.Bool("ablation", false, "run the ablation studies instead of the paper figures")
+	)
+	flag.Parse()
+
+	scale := figures.Default()
+	if *quick {
+		scale = figures.Quick()
+	}
+	if *refs > 0 {
+		scale.RefsPerCore = *refs
+	}
+	if *warmup > 0 {
+		scale.WarmupRefs = *warmup
+	}
+	scale.Seed = *seed
+
+	emit := func(title string, t *stats.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Printf("%s\n\n%s\n", title, t.String())
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	want := func(n int) bool { return *figure == 0 || *figure == n }
+
+	start := time.Now()
+	if *ablation {
+		_, t, err := figures.AblationWiring(scale, []string{"MP3D", "Unstructured", "FFT", "Water-nsq"})
+		if err != nil {
+			fail(err)
+		}
+		emit("Ablation A: link layouts (paper VL+B vs Cheng-style L+PW+ReplyPartitioning vs combined)", t)
+		_, t, err = figures.AblationDBRCSize(scale, "FFT")
+		if err != nil {
+			fail(err)
+		}
+		emit("Ablation B: DBRC size sweep on FFT (incl. untabulated 8/32-entry points)", t)
+		_, t, err = figures.AblationSensitivity(scale, "MP3D")
+		if err != nil {
+			fail(err)
+		}
+		emit("Ablation C: sensitivity of the MP3D win to router depth and wire speed", t)
+		if !*csv {
+			fmt.Printf("(ablations completed in %.0fs)\n", time.Since(start).Seconds())
+		}
+		return
+	}
+	if want(2) {
+		_, t, err := figures.Figure2(scale)
+		if err != nil {
+			fail(err)
+		}
+		emit("Figure 2: address compression coverage (fraction of compressible messages compressed)", t)
+	}
+	if want(5) {
+		_, t, err := figures.Figure5(scale)
+		if err != nil {
+			fail(err)
+		}
+		emit("Figure 5: breakdown of messages on the interconnect (baseline)", t)
+	}
+	if want(6) || want(7) {
+		results, err := figures.Figure67(scale)
+		if err != nil {
+			fail(err)
+		}
+		if want(6) {
+			emit("Figure 6 (top): normalized execution time", figures.Figure6TopTable(results))
+			emit("Figure 6 (bottom): normalized link ED^2P", figures.Figure6BottomTable(results))
+		}
+		if want(7) {
+			emit("Figure 7: normalized full-CMP ED^2P (interconnect share 36%)", figures.Figure7Table(results))
+		}
+	}
+	if !*csv {
+		fmt.Printf("(sweep completed in %.0fs at refs=%d warmup=%d seed=%d)\n",
+			time.Since(start).Seconds(), scale.RefsPerCore, scale.WarmupRefs, scale.Seed)
+	}
+}

@@ -1,0 +1,48 @@
+// Command tables regenerates the paper's Tables 1-3:
+//
+//	Table 1 - area and power of the address-compression hardware
+//	Table 2 - engineered wire catalog (B-, L-, PW-Wires)
+//	Table 3 - VL-Wire catalog at 3/4/5-byte channel widths
+//
+// Usage:
+//
+//	tables            # all tables
+//	tables -table 2   # one table
+//	tables -csv       # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tilesim/internal/figures"
+	"tilesim/internal/stats"
+)
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "table number (1-3); 0 prints all")
+		csv   = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	emit := func(n int, title string, t *stats.Table) {
+		if *table != 0 && *table != n {
+			return
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Printf("%s\n\n%s\n", title, t.String())
+	}
+
+	if *table < 0 || *table > 3 {
+		fmt.Fprintln(os.Stderr, "tables: -table must be 1, 2 or 3")
+		os.Exit(1)
+	}
+	emit(1, "Table 1: per-core cost of the address compression schemes (16-core CMP, 65 nm)", figures.Table1())
+	emit(2, "Table 2: engineered wire implementations (from Cheng et al.)", figures.Table2())
+	emit(3, "Table 3: VL-Wire implementations (8X plane)", figures.Table3())
+}

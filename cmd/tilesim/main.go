@@ -1,0 +1,84 @@
+// Command tilesim runs one application on one interconnect configuration
+// of the tiled-CMP simulator and prints the full statistics: execution
+// time, compression coverage, message mix, link and interconnect energy.
+//
+// Examples:
+//
+//	tilesim -app MP3D
+//	tilesim -app FFT -scheme dbrc -entries 4 -lo 2 -het
+//	tilesim -app Radix -scheme stride -lo 2 -het -refs 20000 -warmup 8000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tilesim/internal/cmp"
+	"tilesim/internal/compress"
+	"tilesim/internal/energy"
+	"tilesim/internal/noc"
+	"tilesim/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "FFT", "application: "+strings.Join(workload.AppNames(), ", "))
+		scheme  = flag.String("scheme", "none", "compression scheme: none, dbrc, stride, perfect")
+		entries = flag.Int("entries", 4, "DBRC compression-cache entries (4, 16, 64)")
+		lo      = flag.Int("lo", 2, "low-order bytes (1 or 2); delta bytes for stride")
+		het     = flag.Bool("het", false, "use the heterogeneous VL+B interconnect")
+		refs    = flag.Int("refs", 8000, "memory references per core")
+		warmup  = flag.Int("warmup", 3000, "warmup references per core before measurement")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := cmp.RunConfig{
+		App:           *app,
+		RefsPerCore:   *refs,
+		WarmupRefs:    *warmup,
+		Seed:          *seed,
+		Compression:   compress.Spec{Kind: *scheme, Entries: *entries, LowOrderBytes: *lo},
+		Heterogeneous: *het,
+	}
+	r, err := cmp.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tilesim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("application         %s\n", r.App)
+	fmt.Printf("configuration       %s", r.Config)
+	if *het {
+		w, _ := cfg.VLWidthBytes()
+		fmt.Printf("  (heterogeneous: %dB VL + 34B B wires)", w)
+	} else {
+		fmt.Printf("  (baseline: 75B B wires)")
+	}
+	fmt.Println()
+	fmt.Printf("execution time      %d cycles (%.3f us at 4 GHz)\n", r.ExecCycles, float64(r.ExecCycles)/4e9*1e6)
+	fmt.Printf("references          %d loads, %d stores\n", r.Loads, r.Stores)
+	fmt.Printf("L1 misses           %d (%.1f%%), mean latency %.0f cycles\n",
+		r.L1Misses, 100*float64(r.L1Misses)/float64(r.Loads+r.Stores), r.MeanMissLatency)
+	fmt.Println()
+	fmt.Printf("network messages    %d remote + %d tile-local\n", r.Net.TotalMessages(), r.LocalMessages)
+	for c := 0; c < int(noc.NumClasses); c++ {
+		fmt.Printf("  %-20s %8d  (%5.1f%%)  %8d bytes\n",
+			noc.Class(c).String(), r.Net.Messages[c],
+			100*float64(r.Net.Messages[c])/float64(r.Net.TotalMessages()), r.Net.Bytes[c])
+	}
+	fmt.Printf("mean hop queueing   %.2f cycles\n", r.Net.MeanHopQueuing)
+	fmt.Printf("request latency     p50 %.0f / p99 %.0f cycles\n", r.RequestLatencyP50, r.RequestLatencyP99)
+	fmt.Println()
+	if *scheme != "none" {
+		fmt.Printf("compression         coverage %.1f%%, %d hardware events\n", 100*r.Coverage, r.ComprEvents)
+	}
+	if *het {
+		fmt.Printf("VL-wire traffic     %.1f%% of remote messages\n", 100*r.VLFraction)
+	}
+	fmt.Printf("link energy         %.3g J dynamic + %.3g J static\n", r.Link.DynJ, r.Link.StaticJ)
+	fmt.Printf("interconnect energy %.3g J (links + routers)\n", r.InterconnectJ)
+	fmt.Printf("link ED2P           %.4g J*s^2\n", energy.ED2P(r.Link.TotalJ(), r.ExecCycles))
+}

@@ -1,0 +1,33 @@
+// Package tilesim is a tiled chip-multiprocessor simulator reproducing
+// "Address Compression and Heterogeneous Interconnects for
+// Energy-Efficient High-Performance in Tiled CMPs" (Flores, Acacio,
+// Aragón — ICPP 2008).
+//
+// The simulator models a 16-core tiled CMP (4x4 mesh, private L1s, a
+// shared NUCA L2, directory MESI coherence) and the paper's proposal:
+// dynamic address compression of coherence requests and commands (DBRC
+// and Stride schemes) combined with a heterogeneous interconnect whose
+// links split into a few very-low-latency VL-Wires for short critical
+// messages plus baseline wires for everything else.
+//
+// Layout:
+//
+//	internal/core       the proposal: message management (compress + map)
+//	internal/compress   DBRC / Stride / Perfect address codecs
+//	internal/wire       wire RC physics and the Table 2/3 catalogs
+//	internal/cacti      SRAM cost models (Table 1)
+//	internal/mesh       4x4 wormhole mesh with per-plane channels
+//	internal/coherence  directory MESI protocol
+//	internal/cache      L1/L2 arrays and MSHRs
+//	internal/cmp        system assembly and run harness
+//	internal/energy     link/router/chip energy and ED^2P metrics
+//	internal/workload   13 SPLASH-2-class synthetic applications
+//	internal/figures    regeneration of every paper table and figure
+//	cmd/tilesim         single-run CLI
+//	cmd/tables          Tables 1-3
+//	cmd/figures         Figures 2, 5, 6, 7
+//
+// The benchmarks in bench_test.go regenerate each table and figure at a
+// reduced scale; see EXPERIMENTS.md for full-scale paper-vs-measured
+// numbers and DESIGN.md for modelling decisions.
+package tilesim

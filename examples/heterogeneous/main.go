@@ -1,0 +1,62 @@
+// Heterogeneous: contrast how the proposal treats a coherence-bound
+// application (MP3D) versus a compute-bound one (Water-nsq), breaking
+// down per-message-class network latency on the baseline and the
+// heterogeneous interconnect — the mechanism behind the paper's
+// per-application variability (Section 5.2).
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tilesim/internal/cmp"
+	"tilesim/internal/compress"
+	"tilesim/internal/noc"
+	"tilesim/internal/stats"
+)
+
+func main() {
+	spec := compress.Spec{Kind: "dbrc", Entries: 4, LowOrderBytes: 2}
+	for _, app := range []string{"MP3D", "Water-nsq"} {
+		base, err := cmp.Run(cmp.RunConfig{
+			App: app, RefsPerCore: 8000, WarmupRefs: 3000, Seed: 1,
+			Compression: compress.Spec{Kind: "none"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		het, err := cmp.Run(cmp.RunConfig{
+			App: app, RefsPerCore: 8000, WarmupRefs: 3000, Seed: 1,
+			Compression: spec, Heterogeneous: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %s ===\n", app)
+		fmt.Printf("execution time: %d -> %d cycles (%.1f%% better)\n",
+			base.ExecCycles, het.ExecCycles,
+			100*(1-float64(het.ExecCycles)/float64(base.ExecCycles)))
+		fmt.Printf("L1 miss rate %.1f%%, mean miss latency %d -> %d cycles\n",
+			100*float64(base.L1Misses)/float64(base.Loads+base.Stores),
+			int(base.MeanMissLatency), int(het.MeanMissLatency))
+
+		t := stats.NewTable("message class", "baseline lat", "heterogeneous lat", "speedup")
+		for c := 0; c < int(noc.NumClasses); c++ {
+			b, h := base.Net.MeanLatency[c], het.Net.MeanLatency[c]
+			if b == 0 {
+				continue
+			}
+			t.AddRow(noc.Class(c).String(),
+				fmt.Sprintf("%.1f", b), fmt.Sprintf("%.1f", h), fmt.Sprintf("%.2fx", b/h))
+		}
+		fmt.Print(t.String())
+		fmt.Printf("coverage %.0f%%; %.0f%% of remote messages on VL wires\n\n",
+			100*het.Coverage, 100*het.VLFraction)
+	}
+	fmt.Println("MP3D stalls on coherence messages, so faster short-message wires")
+	fmt.Println("translate into execution time; Water barely touches the network,")
+	fmt.Println("so the same interconnect change leaves it unmoved (paper Sec. 5.2).")
+}

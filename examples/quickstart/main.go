@@ -1,0 +1,55 @@
+// Quickstart: build the 16-core tiled CMP, run one application on the
+// baseline interconnect and on the paper's proposal (4-entry DBRC address
+// compression + VL/B heterogeneous links), and compare the headline
+// metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tilesim/internal/cmp"
+	"tilesim/internal/compress"
+)
+
+func main() {
+	const app = "MP3D"
+
+	baseline, err := cmp.Run(cmp.RunConfig{
+		App:         app,
+		RefsPerCore: 8000,
+		WarmupRefs:  3000,
+		Seed:        1,
+		Compression: compress.Spec{Kind: "none"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	proposal, err := cmp.Run(cmp.RunConfig{
+		App:           app,
+		RefsPerCore:   8000,
+		WarmupRefs:    3000,
+		Seed:          1,
+		Compression:   compress.Spec{Kind: "dbrc", Entries: 4, LowOrderBytes: 2},
+		Heterogeneous: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application: %s (16-core tiled CMP, 4x4 mesh, 65 nm)\n\n", app)
+	fmt.Printf("%-28s %15s %15s\n", "", "baseline", proposal.Config)
+	fmt.Printf("%-28s %15d %15d\n", "execution cycles", baseline.ExecCycles, proposal.ExecCycles)
+	fmt.Printf("%-28s %15s %14.1f%%\n", "compression coverage", "-", 100*proposal.Coverage)
+	fmt.Printf("%-28s %15s %14.1f%%\n", "messages on VL wires", "-", 100*proposal.VLFraction)
+	fmt.Printf("%-28s %15.3g %15.3g\n", "link energy (J)", baseline.Link.TotalJ(), proposal.Link.TotalJ())
+	fmt.Printf("%-28s %15.4g %15.4g\n", "link ED^2P (J*s^2)", baseline.LinkED2P(), proposal.LinkED2P())
+	fmt.Println()
+	fmt.Printf("execution time improvement: %.1f%%\n",
+		100*(1-float64(proposal.ExecCycles)/float64(baseline.ExecCycles)))
+	fmt.Printf("link ED^2P reduction:       %.1f%%\n",
+		100*(1-proposal.LinkED2P()/baseline.LinkED2P()))
+}

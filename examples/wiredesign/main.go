@@ -1,0 +1,72 @@
+// Wiredesign: explore the wire design space with the first-order RC and
+// repeater models of internal/wire (paper Section 3.2, Eqs. 1-4):
+// latency/area/power as wire width, spacing and repeater design vary,
+// reproducing the engineering trend behind Tables 2 and 3 and showing
+// where the paper's VL-Wire design points sit on the curve.
+//
+//	go run ./examples/wiredesign
+package main
+
+import (
+	"fmt"
+
+	"tilesim/internal/stats"
+	"tilesim/internal/wire"
+)
+
+func main() {
+	tech := wire.Tech65nm()
+	const vdd = 1.1
+
+	fmt.Println("Latency-optimized wires: delay vs. width/spacing (8X plane, 5 mm)")
+	fmt.Println()
+	t := stats.NewTable("pitch (x min)", "delay (ns)", "rel latency", "rel area",
+		"switch E (pJ/mm)", "leak (mW/mm)", "bytes in 75B-link area")
+	base := wire.Geometry{Plane: "8X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 1, RepeaterSpacer: 1}
+	baseDelay := base.Delay(tech, 5)
+	for _, p := range []float64{1, 2, 4, 6, 8, 10, 14} {
+		g := wire.Geometry{Plane: "8X", RelWidth: p, RelSpacing: p, RepeaterSize: 1, RepeaterSpacer: 1}
+		d := g.Delay(tech, 5)
+		// How many wires (bytes) fit in the metal area of a 75-byte
+		// baseline link if all are built at this pitch.
+		bytesInBudget := 75.0 / g.RelArea()
+		t.AddRow(
+			fmt.Sprintf("%.0fx", p),
+			fmt.Sprintf("%.2f", d*1e9),
+			fmt.Sprintf("%.2fx", d/baseDelay),
+			fmt.Sprintf("%.1fx", g.RelArea()),
+			fmt.Sprintf("%.2f", g.SwitchingEnergyPerMM(tech, vdd)*1e12),
+			fmt.Sprintf("%.2f", g.LeakagePowerPerMM(tech, vdd)*1e3),
+			fmt.Sprintf("%.1f", bytesInBudget))
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+
+	fmt.Println("Power-optimized repeater designs: delay vs. energy (4X plane)")
+	fmt.Println()
+	t2 := stats.NewTable("repeater size", "repeater spacing", "delay (ns/5mm)", "switch E (pJ/mm)", "leak (mW/mm)")
+	for _, r := range []struct{ size, spacing float64 }{
+		{1, 1}, {0.7, 1.5}, {0.45, 2.2}, {0.3, 3.0}, {0.18, 4.2},
+	} {
+		g := wire.Geometry{Plane: "4X", RelWidth: 1, RelSpacing: 1, RepeaterSize: r.size, RepeaterSpacer: r.spacing}
+		t2.AddRow(
+			fmt.Sprintf("%.2fx opt", r.size),
+			fmt.Sprintf("%.1fx opt", r.spacing),
+			fmt.Sprintf("%.2f", g.Delay(tech, 5)*1e9),
+			fmt.Sprintf("%.2f", g.SwitchingEnergyPerMM(tech, vdd)*1e12),
+			fmt.Sprintf("%.2f", g.LeakagePowerPerMM(tech, vdd)*1e3))
+	}
+	fmt.Print(t2.String())
+	fmt.Println()
+
+	fmt.Println("Published design points (Tables 2-3) for comparison:")
+	fmt.Println()
+	t3 := stats.NewTable("wire", "published rel latency", "RC-model rel latency", "5mm link cycles @4GHz")
+	for _, k := range wire.Kinds() {
+		t3.AddRow(k.String(),
+			fmt.Sprintf("%.2fx", wire.Lookup(k).RelLatency),
+			fmt.Sprintf("%.2fx", wire.ModelRelLatency(k)),
+			fmt.Sprintf("%d", wire.LatencyCycles(k)))
+	}
+	fmt.Print(t3.String())
+}

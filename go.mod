@@ -1,0 +1,3 @@
+module tilesim
+
+go 1.22

@@ -1,0 +1,314 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	l1 := New(L1Config())
+	if l1.Sets() != 128 {
+		t.Errorf("L1 sets = %d, want 128", l1.Sets())
+	}
+	l2 := New(L2SliceConfig())
+	if l2.Sets() != 1024 {
+		t.Errorf("L2 sets = %d, want 1024", l2.Sets())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	bad := []Config{
+		{CapacityBytes: 32 << 10, Ways: 4, LineBytes: 48},   // non-pow2 line
+		{CapacityBytes: 0, Ways: 4, LineBytes: 64},          // zero capacity
+		{CapacityBytes: 32 << 10, Ways: 0, LineBytes: 64},   // zero ways
+		{CapacityBytes: 3 * 64 * 5, Ways: 4, LineBytes: 64}, // ragged
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad geometry %d accepted", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestHitMissAndLRU(t *testing.T) {
+	// Tiny cache: 2 ways, 2 sets (256 B).
+	c := New(Config{CapacityBytes: 256, Ways: 2, LineBytes: 64})
+	a, b, x := uint64(0x0000), uint64(0x0100), uint64(0x0200) // same set (set 0)
+	if c.Access(a) != nil {
+		t.Fatal("cold access hit")
+	}
+	c.Insert(a, Shared)
+	c.Insert(b, Shared)
+	if c.Access(a) == nil || c.Access(b) == nil {
+		t.Fatal("warm access missed")
+	}
+	c.Access(a) // a MRU, b LRU
+	old := c.Insert(x, Shared)
+	if !old.Valid() || old.Block != b {
+		t.Fatalf("evicted %+v, want block %#x", old, b)
+	}
+	if c.Probe(a) == nil || c.Probe(x) == nil || c.Probe(b) != nil {
+		t.Fatal("post-eviction contents wrong")
+	}
+	hits, misses, evicts := c.Stats()
+	if hits != 3 || misses != 1 || evicts != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 3/1/1", hits, misses, evicts)
+	}
+}
+
+func TestInsertIntoFreeWayEvictsNothing(t *testing.T) {
+	c := New(Config{CapacityBytes: 256, Ways: 2, LineBytes: 64})
+	if old := c.Insert(0x40, Modified); old.Valid() {
+		t.Fatalf("eviction from empty set: %+v", old)
+	}
+	if c.Occupancy() != 1 {
+		t.Fatalf("occupancy %d", c.Occupancy())
+	}
+}
+
+func TestDoubleInsertPanics(t *testing.T) {
+	c := New(Config{CapacityBytes: 256, Ways: 2, LineBytes: 64})
+	c.Insert(0x40, Shared)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double insert accepted")
+		}
+	}()
+	c.Insert(0x40, Modified)
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{CapacityBytes: 256, Ways: 2, LineBytes: 64})
+	c.Insert(0x40, Modified)
+	if st := c.Invalidate(0x40); st != Modified {
+		t.Fatalf("invalidate returned %v, want M", st)
+	}
+	if st := c.Invalidate(0x40); st != Invalid {
+		t.Fatalf("re-invalidate returned %v, want I", st)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatal("line still present")
+	}
+}
+
+func TestBlockAlignment(t *testing.T) {
+	c := New(L1Config())
+	c.Insert(0x1234, Shared) // not block-aligned
+	if c.Probe(0x1200) == nil || c.Probe(0x123f) == nil {
+		t.Fatal("addresses in the same block must hit")
+	}
+	if c.Probe(0x1240) != nil {
+		t.Fatal("next block must miss")
+	}
+}
+
+// Property: occupancy never exceeds capacity and a just-inserted block is
+// always present.
+func TestInsertProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(Config{CapacityBytes: 1024, Ways: 4, LineBytes: 64})
+		for _, a := range addrs {
+			addr := uint64(a)
+			if c.Probe(addr) == nil {
+				c.Insert(addr, Shared)
+			}
+			if c.Probe(addr) == nil {
+				return false
+			}
+			if c.Occupancy() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LRU never evicts the most recently used line of a set.
+func TestLRUNeverEvictsMRUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{CapacityBytes: 512, Ways: 2, LineBytes: 64})
+		var lastTouched uint64
+		touched := false
+		for i := 0; i < 200; i++ {
+			addr := uint64(rng.Intn(32)) * 64
+			if l := c.Access(addr); l == nil {
+				v := c.Victim(addr)
+				if touched && v.Valid() && v.Block == lastTouched && c.BlockOf(lastTouched) != c.BlockOf(addr) {
+					// MRU eviction is only legal if the set has a single way
+					// holding it; with 2 ways it is a bug.
+					return false
+				}
+				c.Insert(addr, Shared)
+			}
+			lastTouched = c.BlockOf(addr)
+			touched = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRLifecycle(t *testing.T) {
+	m := NewMSHR(2)
+	e := m.Allocate(0x40)
+	e.IsWrite = true
+	e.PendingAcks = 2
+	if e.Complete() {
+		t.Fatal("incomplete entry reports complete")
+	}
+	e.GotData = true
+	e.PendingAcks = 0
+	if !e.Complete() {
+		t.Fatal("complete entry reports incomplete")
+	}
+	called := 0
+	e.Waiters = append(e.Waiters, func() { called++ })
+	for _, w := range m.Free(0x40) {
+		w()
+	}
+	if called != 1 {
+		t.Fatal("waiter not returned")
+	}
+	if m.Lookup(0x40) != nil {
+		t.Fatal("entry survived Free")
+	}
+}
+
+func TestMSHRCapacity(t *testing.T) {
+	m := NewMSHR(1)
+	m.Allocate(0x40)
+	if !m.Full() {
+		t.Fatal("full MSHR not reported")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow accepted")
+		}
+	}()
+	m.Allocate(0x80)
+}
+
+func TestMSHRDuplicatePanics(t *testing.T) {
+	m := NewMSHR(4)
+	m.Allocate(0x40)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate allocate accepted")
+		}
+	}()
+	m.Allocate(0x40)
+}
+
+func TestMSHRFreeAbsentPanics(t *testing.T) {
+	m := NewMSHR(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free of absent entry accepted")
+		}
+	}()
+	m.Free(0x40)
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(L1Config())
+	rng := rand.New(rand.NewSource(7))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1<<16)) &^ 63
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i%len(addrs)]
+		if c.Access(a) == nil {
+			c.Insert(a, Shared)
+		}
+	}
+}
+
+func TestSetLines(t *testing.T) {
+	c := New(Config{CapacityBytes: 256, Ways: 2, LineBytes: 64})
+	lines := c.SetLines(0x0000)
+	if len(lines) != 2 {
+		t.Fatalf("set has %d ways", len(lines))
+	}
+	c.Insert(0x0000, Shared)
+	found := false
+	for _, l := range c.SetLines(0x0000) {
+		if l.Valid() && l.Block == 0 {
+			found = true
+			// Mutating through the pointer is the supported use.
+			l.State = Modified
+		}
+	}
+	if !found {
+		t.Fatal("inserted line not visible through SetLines")
+	}
+	if c.Probe(0x0000).State != Modified {
+		t.Fatal("mutation through SetLines pointer lost")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New(Config{CapacityBytes: 256, Ways: 2, LineBytes: 64})
+	if c.HitRate() != 0 {
+		t.Fatal("unused cache hit rate not 0")
+	}
+	c.Access(0x40) // miss
+	c.Insert(0x40, Shared)
+	c.Access(0x40) // hit
+	if got := c.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", got)
+	}
+}
+
+func TestIndexSkipFolding(t *testing.T) {
+	// 4 sets, skip bits [12,16): addresses differing only in those bits
+	// must map to the same set; the bits above must still participate.
+	cfg := Config{CapacityBytes: 4 * 64 * 1, Ways: 1, LineBytes: 64, IndexSkipLo: 12, IndexSkipBits: 4}
+	c := New(cfg)
+	a := uint64(0x0_0000)
+	b := uint64(0x0_3000) // differs only in bits 12-13
+	c.Insert(a, Shared)
+	if old := c.Insert(b, Shared); !old.Valid() || old.Block != a {
+		t.Fatalf("skip-field addresses should collide: evicted %+v", old)
+	}
+	// Bits below the skipped field still select sets normally.
+	c2 := New(cfg)
+	c2.Insert(0x0_0000, Shared)
+	if old := c2.Insert(0x0_0040, Shared); old.Valid() {
+		t.Fatalf("adjacent blocks should use different sets: evicted %+v", old)
+	}
+}
+
+func TestIndexSkipInsideOffsetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("skip inside block offset accepted")
+		}
+	}()
+	New(Config{CapacityBytes: 256, Ways: 2, LineBytes: 64, IndexSkipLo: 3, IndexSkipBits: 2})
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"} {
+		if st.String() != want {
+			t.Errorf("state %d = %q, want %q", st, st.String(), want)
+		}
+	}
+	if State(9).String() != "State(9)" {
+		t.Error("unknown state string")
+	}
+}

@@ -1,0 +1,115 @@
+package cache
+
+import "fmt"
+
+// MSHR is the miss-status holding register file of an L1 cache: one entry
+// per outstanding missing block. The in-order cores of tilesim block on
+// misses, so the file is small; it still enforces capacity and coalesces
+// same-block requests, and the writeback path uses it to keep evicted
+// dirty lines addressable until the home acknowledges them.
+type MSHR struct {
+	cap     int
+	entries map[uint64]*MSHREntry
+}
+
+// MSHREntry tracks one outstanding transaction on a block.
+type MSHREntry struct {
+	Block uint64
+	// IsWrite records whether the original demand was a store.
+	IsWrite bool
+	// PendingAcks counts invalidation acks still expected before the
+	// transaction completes.
+	PendingAcks int
+	// GotData records that the data response arrived (acks may trail).
+	GotData bool
+	// WritebackData marks a writeback-buffer entry: the line left the
+	// cache but must still service forwarded requests until WBAck.
+	WritebackData bool
+	// Dirty records whether the writeback-buffered line was modified.
+	Dirty bool
+	// Forwarded marks a writeback-buffer entry whose ownership was
+	// already passed to another tile by an intervention.
+	Forwarded bool
+	// GrantUpgrade records an AckNoData grant: upgrade the S line in
+	// place instead of filling.
+	GrantUpgrade bool
+	// GrantExclusive records a DataExclusive grant: fill in E state.
+	GrantExclusive bool
+	// InvalidatedInFlight marks a read transaction whose copy was
+	// invalidated by a racing write before the data arrived: the data is
+	// delivered to the waiting core exactly once but not cached.
+	InvalidatedInFlight bool
+	// Waiters run when the transaction completes.
+	Waiters []func()
+
+	// Reply Partitioning state (optional extension):
+
+	// GotPartial records that the critical-word partial reply arrived.
+	GotPartial bool
+	// AckCounted guards the AckCount, which rides on both the partial
+	// and the ordinary reply and must be added exactly once.
+	AckCounted bool
+	// PartialWaiters run as soon as the requested word is available
+	// (partial or full reply) and all acks are in; the processor
+	// continues while the full line is still in flight.
+	PartialWaiters []func()
+}
+
+// NewMSHR builds an MSHR file with the given capacity.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &MSHR{cap: capacity, entries: make(map[uint64]*MSHREntry)}
+}
+
+// Full reports whether no further entries can be allocated.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.cap }
+
+// Len returns the number of live entries.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// Lookup returns the entry for block, or nil.
+func (m *MSHR) Lookup(block uint64) *MSHREntry { return m.entries[block] }
+
+// Allocate creates an entry for block. Allocating over capacity or for a
+// block that already has an entry panics: the L1 controller must check
+// Full/Lookup first.
+func (m *MSHR) Allocate(block uint64) *MSHREntry {
+	if m.Full() {
+		panic("cache: MSHR overflow")
+	}
+	if m.entries[block] != nil {
+		panic(fmt.Sprintf("cache: duplicate MSHR entry for block %#x", block))
+	}
+	e := &MSHREntry{Block: block}
+	m.entries[block] = e
+	return e
+}
+
+// AllocateOver creates an entry for block even when the file is at
+// capacity. Writeback buffers use it: an eviction triggered by a fill
+// cannot be deferred, so the buffer may transiently exceed the register
+// count (real controllers reserve dedicated writeback entries).
+func (m *MSHR) AllocateOver(block uint64) *MSHREntry {
+	if m.entries[block] != nil {
+		panic(fmt.Sprintf("cache: duplicate MSHR entry for block %#x", block))
+	}
+	e := &MSHREntry{Block: block}
+	m.entries[block] = e
+	return e
+}
+
+// Free releases the entry for block and returns its waiters.
+func (m *MSHR) Free(block uint64) []func() {
+	e := m.entries[block]
+	if e == nil {
+		panic(fmt.Sprintf("cache: freeing absent MSHR entry %#x", block))
+	}
+	delete(m.entries, block)
+	return e.Waiters
+}
+
+// Complete reports whether the transaction has everything it needs:
+// data plus all invalidation acks.
+func (e *MSHREntry) Complete() bool { return e.GotData && e.PendingAcks == 0 }

@@ -1,0 +1,365 @@
+// Package cmp assembles the full tiled-CMP simulator: in-order cores
+// driven by workload generators, per-tile L1s and L2 slices under the
+// directory MESI protocol, the paper's message-management layer
+// (compression + plane mapping), the 4x4 mesh, and energy metering
+// (paper Section 4.1, Table 4).
+package cmp
+
+import (
+	"fmt"
+
+	"tilesim/internal/coherence"
+	"tilesim/internal/compress"
+	"tilesim/internal/core"
+	"tilesim/internal/energy"
+	"tilesim/internal/mesh"
+	"tilesim/internal/noc"
+	"tilesim/internal/sim"
+	"tilesim/internal/workload"
+)
+
+// RunConfig selects one (application x interconnect configuration)
+// simulation.
+type RunConfig struct {
+	// App is a paper application name (workload.AppNames).
+	App string
+	// RefsPerCore scales the run length.
+	RefsPerCore int
+	// WarmupRefs references per core run before measurement starts
+	// (caches and compression structures warm; statistics and the
+	// execution-time window reset at the warmup barrier). 0 measures
+	// from cold.
+	WarmupRefs int
+	// Seed fixes the workload randomness.
+	Seed int64
+	// Compression selects the address-compression scheme.
+	Compression compress.Spec
+	// Heterogeneous enables the proposal's VL+B link layout; false is
+	// the 75-byte B-Wire baseline. (Shorthand for Wiring "vlb".)
+	Heterogeneous bool
+	// Wiring selects the link layout explicitly, overriding
+	// Heterogeneous when set:
+	//   "baseline" - 75-byte B-Wires (the paper's baseline)
+	//   "vlb"      - VL-Wires + 34-byte B-Wires (the paper's proposal)
+	//   "lpw"      - 11-byte L-Wires + 62-byte PW-Wires (Cheng-style,
+	//                requires Reply Partitioning)
+	//   "vlbpw"    - VL + 20-byte B + 30-byte PW (the combined design
+	//                the paper sketches as future work)
+	Wiring string
+	// ReplyPartitioning enables the Flores et al. [9] extension: data
+	// replies split into a critical-word partial plus a relaxed full
+	// line. Implied by Wiring "lpw".
+	ReplyPartitioning bool
+	// RouterLatency overrides the router pipeline depth (0 keeps the
+	// layout default of 2); LinkCyclesScale scales wire traversal
+	// latencies (0 keeps 1.0). Sensitivity-ablation knobs.
+	RouterLatency   int
+	LinkCyclesScale float64
+	// Generator, when non-nil, drives the cores instead of the named
+	// App (e.g. a replayed trace). App is then only a label, and
+	// RefsPerCore/WarmupRefs apply to the generator's stream.
+	Generator workload.Generator
+}
+
+// wiring normalizes the layout selection.
+func (c RunConfig) wiring() string {
+	if c.Wiring != "" {
+		return c.Wiring
+	}
+	if c.Heterogeneous {
+		return "vlb"
+	}
+	return "baseline"
+}
+
+// Label names the configuration the way the paper's figures do.
+func (c RunConfig) Label() string {
+	switch c.wiring() {
+	case "baseline":
+		return "baseline"
+	case "lpw":
+		return "reply partitioning (L+PW)"
+	case "vlbpw":
+		return c.Compression.Label() + " +RP (VL+B+PW)"
+	}
+	label := c.Compression.Label()
+	if c.ReplyPartitioning {
+		label += " +RP"
+	}
+	return label
+}
+
+// VLWidthBytes returns the low-latency channel width the configuration
+// implies: 3 control bytes plus the compressed payload for VL layouts
+// (paper Section 4.3), 11 bytes for the L-Wire layout, 0 for baseline.
+func (c RunConfig) VLWidthBytes() (int, error) {
+	switch c.wiring() {
+	case "baseline":
+		return 0, nil
+	case "lpw":
+		return noc.ShortMax, nil
+	case "vlb", "vlbpw":
+		codec, err := c.Compression.Build(16)
+		if err != nil {
+			return 0, err
+		}
+		w := noc.ControlBytes + codec.CompressedPayloadBytes()
+		if w < 3 || w > 5 {
+			return 0, fmt.Errorf("cmp: %s wiring needs a compressing scheme (VL channels exist at 3-5 bytes, %q implies %d)",
+				c.wiring(), c.Compression.Label(), w)
+		}
+		return w, nil
+	}
+	return 0, fmt.Errorf("cmp: unknown wiring %q", c.Wiring)
+}
+
+// Result captures everything the experiment harnesses report.
+type Result struct {
+	App    string
+	Config string
+
+	// ExecCycles is the parallel-phase execution time.
+	ExecCycles uint64
+	// Coverage is the compressed fraction of compressible messages.
+	Coverage float64
+	// VLFraction is the share of remote messages on the low-latency
+	// wires; PWFraction on the power-optimized wires (RP layouts).
+	VLFraction float64
+	PWFraction float64
+
+	Net mesh.Summary
+
+	// Link is the inter-router link energy (Figure 6 bottom subject).
+	Link energy.LinkReport
+	// InterconnectJ is links + routers (Figure 7 input).
+	InterconnectJ float64
+	// ComprEvents counts compression-hardware activations.
+	ComprEvents uint64
+	// Table1Scheme is the hardware-cost row for Figure 7 ("" if none).
+	Table1Scheme string
+
+	// Memory-system aggregates.
+	Loads, Stores   uint64
+	L1Misses        uint64
+	MeanMissLatency float64
+	LocalMessages   uint64
+
+	// Network latency percentiles for request messages (full run, not
+	// window-scoped: percentile sketches do not subtract).
+	RequestLatencyP50 float64
+	RequestLatencyP99 float64
+}
+
+// LinkED2P returns the link energy-delay^2 product.
+func (r Result) LinkED2P() float64 {
+	return energy.ED2P(r.Link.TotalJ(), r.ExecCycles)
+}
+
+// System is an assembled CMP ready to run.
+type System struct {
+	K     *sim.Kernel
+	Net   *mesh.Network
+	Proto *coherence.Protocol
+	Mgr   *core.Manager
+	Meter *energy.Meter
+
+	cfg   RunConfig
+	cores []*Core
+	bar   *barrier
+	warm  *barrier
+
+	warmCycles sim.Time
+	warmDyn    energy.DynSnapshot
+	warmNet    mesh.Summary
+	warmMgr    mgrSnapshot
+	warmL1     l1Snapshot
+}
+
+// mgrSnapshot captures the message manager's monotone counters.
+type mgrSnapshot struct {
+	compressible, compressed, local, saved uint64
+	vl, b, pw                              uint64
+}
+
+// l1Snapshot captures the chip-wide L1 counters.
+type l1Snapshot struct {
+	loads, stores, misses uint64
+	missLatSum            float64
+	missLatN              uint64
+}
+
+func (s *System) snapMgr() mgrSnapshot {
+	return mgrSnapshot{
+		compressible: s.Mgr.Compressible.Value(),
+		compressed:   s.Mgr.Compressed.Value(),
+		local:        s.Mgr.LocalMsgs.Value(),
+		saved:        s.Mgr.SavedBytes.Value(),
+		vl:           s.Mgr.VLMessages.Value(),
+		b:            s.Mgr.BMessages.Value(),
+		pw:           s.Mgr.PWMessages.Value(),
+	}
+}
+
+func (s *System) snapL1() l1Snapshot {
+	var out l1Snapshot
+	for i := 0; i < 16; i++ {
+		l1 := s.Proto.L1(i)
+		out.loads += l1.Loads.Value()
+		out.stores += l1.Stores.Value()
+		out.misses += l1.LoadMisses.Value() + l1.StoreMisses.Value()
+		out.missLatSum += l1.MissLatency.Sum()
+		out.missLatN += l1.MissLatency.N()
+	}
+	return out
+}
+
+// takeWarmupSnapshot marks the measurement-window start.
+func (s *System) takeWarmupSnapshot() {
+	s.warmCycles = s.K.Now()
+	s.warmDyn = s.Meter.Snapshot()
+	s.warmNet = s.Net.Summary()
+	s.warmMgr = s.snapMgr()
+	s.warmL1 = s.snapL1()
+}
+
+// NewSystem builds the simulator for a configuration.
+func NewSystem(cfg RunConfig) (*System, error) {
+	if cfg.RefsPerCore <= 0 {
+		return nil, fmt.Errorf("cmp: RefsPerCore must be positive")
+	}
+	gen := cfg.Generator
+	if gen == nil {
+		var err error
+		gen, err = workload.NewNamedApp(cfg.App, 16, cfg.RefsPerCore, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	codec, err := cfg.Compression.Build(16)
+	if err != nil {
+		return nil, err
+	}
+	vlWidth, err := cfg.VLWidthBytes()
+	if err != nil {
+		return nil, err
+	}
+	var netCfg mesh.Config
+	switch cfg.wiring() {
+	case "baseline":
+		netCfg = mesh.DefaultBaseline()
+	case "vlb":
+		netCfg, err = mesh.Heterogeneous(vlWidth)
+		if err != nil {
+			return nil, err
+		}
+	case "lpw":
+		netCfg = mesh.LayoutLPW()
+		// The L+PW layout has no fast path for critical long messages;
+		// it only works with Reply Partitioning taking data replies off
+		// the critical path.
+		cfg.ReplyPartitioning = true
+	case "vlbpw":
+		netCfg, err = mesh.LayoutVLBPW(vlWidth)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cmp: unknown wiring %q", cfg.Wiring)
+	}
+	if cfg.RouterLatency > 0 {
+		netCfg.RouterLatency = cfg.RouterLatency
+	}
+	if cfg.LinkCyclesScale > 0 {
+		netCfg.LinkCyclesScale = cfg.LinkCyclesScale
+	}
+
+	k := sim.NewKernel()
+	meter := energy.NewMeter(16)
+	net := mesh.New(k, netCfg, meter)
+	for _, sw := range net.StaticWires() {
+		meter.AddStaticWires(sw.Kind, sw.Length, sw.Wires)
+	}
+
+	sys := &System{K: k, Net: net, Meter: meter, cfg: cfg}
+	// The protocol sends through the manager; the manager delivers back
+	// into the protocol.
+	cohCfg := coherence.DefaultConfig()
+	cohCfg.ReplyPartitioning = cfg.ReplyPartitioning
+	sys.Proto = coherence.New(k, cohCfg, func(m *noc.Message) { sys.Mgr.Send(m) })
+	sys.Mgr = core.New(k, net, core.Config{Codec: codec, VLWidthBytes: vlWidth}, meter,
+		func(m *noc.Message) { sys.Proto.Deliver(m) })
+
+	sys.bar = newBarrier(16)
+	sys.warm = newBarrier(16)
+	sys.warm.onAll = sys.takeWarmupSnapshot
+	sys.cores = make([]*Core, 16)
+	for i := 0; i < 16; i++ {
+		sys.cores[i] = newCore(i, sys, gen)
+	}
+	return sys, nil
+}
+
+// Run executes the parallel phase to completion and returns the result.
+func (s *System) Run() (Result, error) {
+	for _, c := range s.cores {
+		c.start()
+	}
+	s.K.Run(nil)
+
+	var execCycles sim.Time
+	for _, c := range s.cores {
+		if !c.done {
+			return Result{}, fmt.Errorf("cmp: core %d did not finish (deadlock?)", c.id)
+		}
+		if c.finishedAt > execCycles {
+			execCycles = c.finishedAt
+		}
+	}
+	if s.Net.InFlight() != 0 || s.Proto.OutstandingTransactions() != 0 {
+		return Result{}, fmt.Errorf("cmp: %d messages / %d transactions outstanding after drain",
+			s.Net.InFlight(), s.Proto.OutstandingTransactions())
+	}
+
+	// Everything below reports the measurement window: the run minus
+	// the warmup prefix (warmCycles and the warm* snapshots are zero
+	// when WarmupRefs is 0).
+	window := uint64(execCycles - s.warmCycles)
+	mgrNow := s.snapMgr()
+	l1Now := s.snapL1()
+	r := Result{
+		App:           s.cfg.App,
+		Config:        s.cfg.Label(),
+		ExecCycles:    window,
+		Net:           s.Net.Summary().Sub(s.warmNet),
+		Link:          s.Meter.LinkSince(s.warmDyn, window),
+		InterconnectJ: s.Meter.InterconnectSince(s.warmDyn, window),
+		ComprEvents:   s.Meter.ComprEvents() - s.warmDyn.ComprEvents,
+		Table1Scheme:  s.cfg.Compression.Table1Scheme(),
+		LocalMessages: mgrNow.local - s.warmMgr.local,
+		Loads:         l1Now.loads - s.warmL1.loads,
+		Stores:        l1Now.stores - s.warmL1.stores,
+		L1Misses:      l1Now.misses - s.warmL1.misses,
+	}
+	if compressible := mgrNow.compressible - s.warmMgr.compressible; compressible > 0 {
+		r.Coverage = float64(mgrNow.compressed-s.warmMgr.compressed) / float64(compressible)
+	}
+	if remote := (mgrNow.vl - s.warmMgr.vl) + (mgrNow.b - s.warmMgr.b) + (mgrNow.pw - s.warmMgr.pw); remote > 0 {
+		r.VLFraction = float64(mgrNow.vl-s.warmMgr.vl) / float64(remote)
+		r.PWFraction = float64(mgrNow.pw-s.warmMgr.pw) / float64(remote)
+	}
+	if n := l1Now.missLatN - s.warmL1.missLatN; n > 0 {
+		r.MeanMissLatency = (l1Now.missLatSum - s.warmL1.missLatSum) / float64(n)
+	}
+	r.RequestLatencyP50 = s.Net.LatencyPercentile(noc.ClassRequest, 0.50)
+	r.RequestLatencyP99 = s.Net.LatencyPercentile(noc.ClassRequest, 0.99)
+	return r, nil
+}
+
+// Run builds and runs a configuration in one call.
+func Run(cfg RunConfig) (Result, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.Run()
+}

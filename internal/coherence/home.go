@@ -1,0 +1,528 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tilesim/internal/cache"
+	"tilesim/internal/noc"
+	"tilesim/internal/sim"
+	"tilesim/internal/stats"
+)
+
+// txnKind is the in-flight transaction context of a busy directory
+// entry.
+type txnKind int
+
+const (
+	txnNone   txnKind = iota
+	txnFwdS           // waiting for the owner's Revision after FwdGetS
+	txnFwdX           // waiting for the owner's Revision after FwdGetX
+	txnFill           // waiting for memory (and possibly a victim recall)
+	txnRecall         // the entry is the *victim* of an L2 recall
+	txnGrant          // ownership granted, waiting for the requestor's OwnAck
+)
+
+// dirEntry is the directory state of one block at its home.
+type dirEntry struct {
+	sharers uint32 // bitmask of tiles with S copies (may be a superset)
+	owner   int    // tile with the M/E copy, or -1
+
+	busy  bool
+	kind  txnKind
+	queue []*noc.Message // requests waiting for the transaction
+
+	// Context for the in-flight transaction.
+	requestor  int
+	reqType    noc.Type
+	recallAcks int
+	// pendingCloses counts the messages that must still arrive before
+	// the transaction unbusies: the owner's Revision for interventions,
+	// the requestor's OwnAck for ownership transfers (both for FwdGetX).
+	pendingCloses int
+	afterRecall   func()
+}
+
+func (e *dirEntry) empty() bool {
+	return e.sharers == 0 && e.owner < 0 && !e.busy && len(e.queue) == 0
+}
+
+// HomeController is one tile's L2 slice plus the directory for the
+// address partition it is home to.
+type HomeController struct {
+	p  *Protocol
+	id int
+
+	l2  *cache.Cache
+	dir map[uint64]*dirEntry
+
+	// Statistics.
+	Requests     stats.Counter
+	L2Misses     stats.Counter
+	MemFetches   stats.Counter
+	Recalls      stats.Counter
+	Forwards     stats.Counter
+	InvsSent     stats.Counter
+	QueuedAtHome stats.Counter
+}
+
+func newHomeController(p *Protocol, id int) *HomeController {
+	l2cfg := cache.L2SliceConfig()
+	// Blocks are home-interleaved on the page bits; within this slice
+	// those bits are constant, so fold them out of the set index.
+	l2cfg.IndexSkipLo = HomePageShift
+	l2cfg.IndexSkipBits = bits.TrailingZeros(uint(p.cfg.Tiles))
+	return &HomeController{
+		p:   p,
+		id:  id,
+		l2:  cache.New(l2cfg),
+		dir: make(map[uint64]*dirEntry),
+	}
+}
+
+// L2 exposes the slice array (stats, tests).
+func (h *HomeController) L2() *cache.Cache { return h.l2 }
+
+func (h *HomeController) entry(block uint64) *dirEntry {
+	if e, ok := h.dir[block]; ok {
+		return e
+	}
+	e := &dirEntry{owner: -1}
+	h.dir[block] = e
+	return e
+}
+
+func (h *HomeController) release(block uint64, e *dirEntry) {
+	if e.empty() {
+		delete(h.dir, block)
+	}
+}
+
+func (h *HomeController) busyCount() int {
+	n := 0
+	for _, e := range h.dir {
+		if e.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// wantsInvAck reports whether an InvAck for block belongs to a recall in
+// progress at this home (as opposed to a requestor L1's transaction).
+func (h *HomeController) wantsInvAck(block uint64) bool {
+	e, ok := h.dir[block]
+	return ok && e.busy && e.kind == txnRecall
+}
+
+// deliver handles a message addressed to this home.
+func (h *HomeController) deliver(m *noc.Message) {
+	block := m.Addr &^ uint64(noc.LineBytes-1)
+	if HomeOf(block, h.p.cfg.Tiles) != h.id {
+		panic(fmt.Sprintf("coherence: home %d got %v for block %#x homed at %d",
+			h.id, m.Type, block, HomeOf(block, h.p.cfg.Tiles)))
+	}
+	switch m.Type {
+	case noc.GetS, noc.GetX, noc.Upgrade:
+		h.Requests.Inc()
+		// Charge the directory/tag lookup.
+		h.p.k.Schedule(sim.Time(h.p.cfg.L2TagCycles), func() { h.handleRequest(m, block) })
+	case noc.WriteBack, noc.ReplacementHint:
+		h.p.k.Schedule(sim.Time(h.p.cfg.L2TagCycles), func() { h.handleReplacement(m, block) })
+	case noc.Revision:
+		h.handleRevision(m, block)
+	case noc.OwnAck:
+		h.handleOwnAck(m, block)
+	case noc.InvAck:
+		h.handleRecallAck(m, block)
+	default:
+		panic(fmt.Sprintf("coherence: home %d got %v", h.id, m.Type))
+	}
+}
+
+func (h *HomeController) handleRequest(m *noc.Message, block uint64) {
+	e := h.entry(block)
+	if e.busy {
+		h.QueuedAtHome.Inc()
+		e.queue = append(e.queue, m)
+		return
+	}
+	switch m.Type {
+	case noc.GetS:
+		h.handleGetS(m, block, e)
+	case noc.GetX:
+		h.handleGetX(m, block, e)
+	case noc.Upgrade:
+		h.handleUpgrade(m, block, e)
+	}
+}
+
+func (h *HomeController) handleGetS(m *noc.Message, block uint64, e *dirEntry) {
+	if e.owner == m.Src {
+		panic(fmt.Sprintf("coherence: home %d GetS from current owner %d for %#x", h.id, m.Src, block))
+	}
+	if e.owner >= 0 {
+		// 3-hop read: intervene at the owner.
+		h.Forwards.Inc()
+		e.busy, e.kind, e.requestor, e.reqType = true, txnFwdS, m.Src, m.Type
+		e.pendingCloses = 1 // the owner's Revision
+		fwd := h.p.msg(noc.FwdGetS, h.id, e.owner, block, m.Txn)
+		fwd.ReplyTo = m.Src
+		h.p.send(fwd)
+		return
+	}
+	h.ensureData(block, e, func(delay sim.Time) {
+		// Directory mutation happens NOW (the serialization point);
+		// only the grant message waits for the data array.
+		var grant *noc.Message
+		if e.sharers == 0 {
+			// Sole copy: grant E. Unlike write-ownership transfers, E
+			// grants need no completion ack: a racing recall resolves
+			// through the requestor's use-once handling (it relinquishes
+			// with a replacement hint), and racing interventions defer
+			// at the requestor until the grant lands.
+			grant = h.p.msg(noc.DataExclusive, h.id, m.Src, block, m.Txn)
+			e.owner = m.Src
+		} else {
+			grant = h.p.msg(noc.Data, h.id, m.Src, block, m.Txn)
+			e.sharers |= 1 << uint(m.Src)
+		}
+		grant.DataBytes = noc.LineBytes
+		h.sendDataGrant(grant, delay)
+	})
+}
+
+// sendDataGrant emits a data-carrying grant. Under Reply Partitioning
+// the critical word leaves first as a PartialReply and the full line
+// follows off the critical path.
+func (h *HomeController) sendDataGrant(grant *noc.Message, delay sim.Time) {
+	if h.p.cfg.ReplyPartitioning && grant.DataBytes > 0 {
+		pr := h.p.msg(noc.PartialReply, grant.Src, grant.Dst, grant.Addr, grant.Txn)
+		pr.AckCount = grant.AckCount
+		grant.Relaxed = true
+		h.p.k.Schedule(delay, func() { h.p.send(pr) })
+	}
+	h.p.k.Schedule(delay, func() { h.p.send(grant) })
+}
+
+// handleGetX covers true GetX and Upgrade requests demoted to GetX by a
+// race (the upgrader's copy was invalidated before its request reached
+// the home).
+func (h *HomeController) handleGetX(m *noc.Message, block uint64, e *dirEntry) {
+	if e.owner == m.Src {
+		panic(fmt.Sprintf("coherence: home %d GetX from current owner %d for %#x", h.id, m.Src, block))
+	}
+	if e.owner >= 0 {
+		h.Forwards.Inc()
+		e.busy, e.kind, e.requestor, e.reqType = true, txnFwdX, m.Src, m.Type
+		e.pendingCloses = 2 // the owner's Revision + the requestor's OwnAck
+		fwd := h.p.msg(noc.FwdGetX, h.id, e.owner, block, m.Txn)
+		fwd.ReplyTo = m.Src
+		h.p.send(fwd)
+		return
+	}
+	h.ensureData(block, e, func(delay sim.Time) {
+		others := e.sharers &^ (1 << uint(m.Src))
+		h.invalidateSharers(others, block, m.Src, m.Txn)
+		grant := h.p.msg(noc.Data, h.id, m.Src, block, m.Txn)
+		grant.DataBytes = noc.LineBytes
+		grant.AckCount = bits.OnesCount32(others)
+		e.sharers = 0
+		e.owner = m.Src
+		// Ownership transfers stay busy until the requestor confirms
+		// completion, so recalls and interventions can never race an
+		// in-flight grant.
+		e.busy, e.kind, e.pendingCloses = true, txnGrant, 1
+		h.sendDataGrant(grant, delay)
+	})
+}
+
+func (h *HomeController) handleUpgrade(m *noc.Message, block uint64, e *dirEntry) {
+	if e.owner >= 0 {
+		// The requestor lost its copy to a racing write: full GetX path.
+		h.handleGetX(m, block, e)
+		return
+	}
+	if e.sharers&(1<<uint(m.Src)) != 0 {
+		// Upgrade in place: invalidate the others, no data needed.
+		others := e.sharers &^ (1 << uint(m.Src))
+		h.invalidateSharers(others, block, m.Src, m.Txn)
+		grant := h.p.msg(noc.AckNoData, h.id, m.Src, block, m.Txn)
+		grant.AckCount = bits.OnesCount32(others)
+		e.sharers = 0
+		e.owner = m.Src
+		e.busy, e.kind, e.pendingCloses = true, txnGrant, 1
+		h.p.send(grant)
+		return
+	}
+	// The requestor's copy vanished (recall): needs data again.
+	h.handleGetX(m, block, e)
+}
+
+func (h *HomeController) invalidateSharers(mask uint32, block uint64, replyTo int, txn uint64) {
+	for t := 0; t < h.p.cfg.Tiles; t++ {
+		if mask&(1<<uint(t)) == 0 {
+			continue
+		}
+		h.InvsSent.Inc()
+		inv := h.p.msg(noc.Inv, h.id, t, block, txn)
+		inv.ReplyTo = replyTo
+		h.p.send(inv)
+	}
+}
+
+// recallSharers sends recall-flavoured invalidations acked to the home.
+func (h *HomeController) recallSharers(mask uint32, block uint64, txn uint64) {
+	for t := 0; t < h.p.cfg.Tiles; t++ {
+		if mask&(1<<uint(t)) == 0 {
+			continue
+		}
+		h.InvsSent.Inc()
+		inv := h.p.msg(noc.Inv, h.id, t, block, txn)
+		inv.ReplyTo = h.id
+		inv.Recall = true
+		h.p.send(inv)
+	}
+}
+
+func (h *HomeController) handleReplacement(m *noc.Message, block uint64) {
+	e := h.entry(block)
+	if e.busy {
+		h.QueuedAtHome.Inc()
+		e.queue = append(e.queue, m)
+		return
+	}
+	if e.owner == m.Src {
+		e.owner = -1
+		if m.Type == noc.WriteBack {
+			// The line's dirty data lands in the L2 slice.
+			if line := h.l2.Probe(block); line != nil {
+				line.State = cache.Modified
+			} else {
+				panic(fmt.Sprintf("coherence: home %d writeback for L2-absent block %#x (inclusion broken)", h.id, block))
+			}
+		}
+	}
+	// Stale replacements (ownership already moved) are acked silently.
+	ack := h.p.msg(noc.WBAck, h.id, m.Src, block, m.Txn)
+	h.p.send(ack)
+	h.release(block, e)
+}
+
+func (h *HomeController) handleRevision(m *noc.Message, block uint64) {
+	e, ok := h.dir[block]
+	if !ok || !e.busy {
+		panic(fmt.Sprintf("coherence: home %d revision for idle block %#x", h.id, block))
+	}
+	switch e.kind {
+	case txnFwdS:
+		if m.DataBytes > 0 {
+			if line := h.l2.Probe(block); line != nil {
+				line.State = cache.Modified
+			} else {
+				panic(fmt.Sprintf("coherence: home %d revision data for L2-absent block %#x", h.id, block))
+			}
+		}
+		oldOwner := e.owner
+		e.owner = -1
+		e.sharers |= 1 << uint(e.requestor)
+		if !m.NoCopy {
+			e.sharers |= 1 << uint(oldOwner)
+		}
+		h.closeOne(block, e)
+	case txnFwdX:
+		e.owner = e.requestor
+		e.sharers = 0
+		h.closeOne(block, e)
+	case txnRecall:
+		if m.DataBytes > 0 {
+			// Dirty recall data returns; the line is leaving L2 anyway,
+			// so it flows to memory (counted, not stored).
+		}
+		h.recallAckArrived(block, e)
+	default:
+		panic(fmt.Sprintf("coherence: home %d revision during %d txn for %#x", h.id, e.kind, block))
+	}
+}
+
+func (h *HomeController) handleOwnAck(m *noc.Message, block uint64) {
+	e, ok := h.dir[block]
+	if !ok || !e.busy || (e.kind != txnGrant && e.kind != txnFwdX) {
+		panic(fmt.Sprintf("coherence: home %d OwnAck for non-grant block %#x", h.id, block))
+	}
+	h.closeOne(block, e)
+}
+
+// closeOne retires one of the transaction's pending closing messages.
+func (h *HomeController) closeOne(block uint64, e *dirEntry) {
+	e.pendingCloses--
+	if e.pendingCloses <= 0 {
+		h.finishTxn(block, e)
+	}
+}
+
+func (h *HomeController) handleRecallAck(m *noc.Message, block uint64) {
+	e, ok := h.dir[block]
+	if !ok || !e.busy || e.kind != txnRecall {
+		panic(fmt.Sprintf("coherence: home %d recall ack for non-recall block %#x", h.id, block))
+	}
+	h.recallAckArrived(block, e)
+}
+
+func (h *HomeController) recallAckArrived(block uint64, e *dirEntry) {
+	e.recallAcks--
+	if e.recallAcks > 0 {
+		return
+	}
+	e.sharers = 0
+	e.owner = -1
+	then := e.afterRecall
+	e.afterRecall = nil
+	// Complete the eviction (L2 invalidate + fill) before draining the
+	// victim's queued requests, so they observe the post-recall state.
+	then()
+	h.finishTxn(block, e)
+}
+
+// finishTxn clears the busy state and drains queued requests in order.
+func (h *HomeController) finishTxn(block uint64, e *dirEntry) {
+	e.busy = false
+	e.kind = txnNone
+	queued := e.queue
+	e.queue = nil
+	h.release(block, e)
+	for _, m := range queued {
+		switch m.Type {
+		case noc.GetS, noc.GetX, noc.Upgrade:
+			h.handleRequest(m, block)
+		case noc.WriteBack, noc.ReplacementHint:
+			h.handleReplacement(m, block)
+		default:
+			panic(fmt.Sprintf("coherence: home %d queued %v", h.id, m.Type))
+		}
+	}
+}
+
+// ensureData runs cont once the block's data is available in the L2
+// slice, fetching from memory (and recalling an L2 victim) if needed.
+// cont runs at the transaction's serialization point and must apply its
+// directory mutations synchronously; the latency of the L2 data array is
+// passed to cont as the delay to apply to outgoing data messages. The
+// tag lookup is already charged by the caller.
+func (h *HomeController) ensureData(block uint64, e *dirEntry, cont func(delay sim.Time)) {
+	if h.l2.Probe(block) != nil {
+		h.l2.Access(block) // LRU touch + hit accounting
+		cont(sim.Time(h.p.cfg.L2DataCycles))
+		return
+	}
+	h.l2.Access(block) // records the miss
+	if e.sharers != 0 || e.owner >= 0 {
+		panic(fmt.Sprintf("coherence: home %d block %#x has L1 copies but no L2 line (inclusion broken)", h.id, block))
+	}
+	h.L2Misses.Inc()
+	h.MemFetches.Inc()
+	e.busy, e.kind = true, txnFill
+	h.p.k.Schedule(sim.Time(h.p.cfg.MemCycles), func() { h.fillL2(block, e, cont) })
+}
+
+// fillL2 inserts a memory-fetched block, recalling the victim first when
+// inclusion demands it.
+func (h *HomeController) fillL2(block uint64, e *dirEntry, cont func(delay sim.Time)) {
+	victim := h.pickL2Victim(block)
+	if victim == nil {
+		// Every way's block is mid-transaction; retry shortly.
+		h.p.k.Schedule(8, func() { h.fillL2(block, e, cont) })
+		return
+	}
+	finish := func() {
+		h.l2.Insert(block, cache.Shared) // clean w.r.t. memory
+		// The fill transaction ends here; cont may immediately open an
+		// ownership-grant transaction on the same entry, in which case
+		// the queued requests keep waiting for its OwnAck.
+		e.busy, e.kind = false, txnNone
+		cont(0)
+		if !e.busy {
+			h.finishTxn(block, e)
+		}
+	}
+	if !victim.Valid() {
+		finish()
+		return
+	}
+	vblock := victim.Block
+	ve, hasDir := h.dir[vblock]
+	if !hasDir || (ve.sharers == 0 && ve.owner < 0) {
+		// No L1 copies: plain L2 eviction (dirty data flows to memory).
+		h.l2.Invalidate(vblock)
+		finish()
+		return
+	}
+	// Inclusion recall.
+	h.Recalls.Inc()
+	ve.busy, ve.kind = true, txnRecall
+	if ve.owner >= 0 {
+		ve.recallAcks = 1
+		inv := h.p.msg(noc.Inv, h.id, ve.owner, vblock, h.p.txn())
+		inv.ReplyTo = h.id
+		inv.Recall = true
+		h.p.send(inv)
+	} else {
+		ve.recallAcks = bits.OnesCount32(ve.sharers)
+		h.recallSharers(ve.sharers, vblock, h.p.txn())
+	}
+	ve.afterRecall = func() {
+		h.l2.Invalidate(vblock)
+		finish()
+	}
+}
+
+// pickL2Victim chooses an eviction victim for block's set: an invalid
+// way, else the least-recently-used way whose block has no transaction
+// in flight. nil means every way is busy.
+func (h *HomeController) pickL2Victim(block uint64) *cache.Line {
+	v := h.l2.Victim(block)
+	if !v.Valid() {
+		return v
+	}
+	var best *cache.Line
+	for _, cand := range h.l2.SetLines(block) {
+		if !cand.Valid() {
+			return cand
+		}
+		if e, ok := h.dir[cand.Block]; ok && e.busy {
+			continue
+		}
+		if best == nil {
+			best = cand
+		}
+	}
+	return best
+}
+
+// DirInfo returns the directory view of one block for invariant checks:
+// the sharer mask, the owner (-1 if none), whether a transaction is in
+// flight, and whether the block is tracked at all.
+func (h *HomeController) DirInfo(block uint64) (sharers uint32, owner int, busy bool, tracked bool) {
+	e, ok := h.dir[block]
+	if !ok {
+		return 0, -1, false, false
+	}
+	return e.sharers, e.owner, e.busy, true
+}
+
+// DirSummary describes directory occupancy for tests and reporting.
+type DirSummary struct {
+	TrackedBlocks int
+	BusyBlocks    int
+}
+
+// Summary returns the directory occupancy.
+func (h *HomeController) Summary() DirSummary {
+	s := DirSummary{TrackedBlocks: len(h.dir)}
+	for _, e := range h.dir {
+		if e.busy {
+			s.BusyBlocks++
+		}
+	}
+	return s
+}

@@ -1,0 +1,438 @@
+package coherence
+
+import (
+	"fmt"
+
+	"tilesim/internal/cache"
+	"tilesim/internal/noc"
+	"tilesim/internal/sim"
+	"tilesim/internal/stats"
+)
+
+// L1Controller is one tile's private L1 data cache plus its MSHR file
+// and writeback buffer, driven by the core (Load/Store) and by protocol
+// messages (deliver).
+type L1Controller struct {
+	p  *Protocol
+	id int
+
+	cache *cache.Cache
+	mshr  *cache.MSHR
+
+	// Statistics.
+	Loads, Stores           stats.Counter
+	LoadMisses, StoreMisses stats.Counter
+	Upgrades                stats.Counter
+	Writebacks, Hints       stats.Counter
+	Interventions           stats.Counter
+	Invalidations           stats.Counter
+	MissLatency             stats.Mean
+}
+
+func newL1Controller(p *Protocol, id int) *L1Controller {
+	return &L1Controller{
+		p:     p,
+		id:    id,
+		cache: cache.New(cache.L1Config()),
+		mshr:  cache.NewMSHR(p.cfg.MSHRs),
+	}
+}
+
+// Cache exposes the underlying array (read-only use: stats, tests).
+func (l *L1Controller) Cache() *cache.Cache { return l.cache }
+
+// Load performs a read; done runs when the data is available. The L1 hit
+// latency is charged here.
+func (l *L1Controller) Load(addr uint64, done func()) {
+	l.Loads.Inc()
+	l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), func() { l.access(addr, false, done) })
+}
+
+// Store performs a write; done runs when ownership is obtained.
+func (l *L1Controller) Store(addr uint64, done func()) {
+	l.Stores.Inc()
+	l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), func() { l.access(addr, true, done) })
+}
+
+func (l *L1Controller) access(addr uint64, isWrite bool, done func()) {
+	block := l.cache.BlockOf(addr)
+	// A transaction already live on this block: wait for it, then retry
+	// the access from scratch. Covers re-references to writeback-buffered
+	// blocks and (with non-blocking cores) same-block coalescing.
+	if e := l.mshr.Lookup(block); e != nil {
+		e.Waiters = append(e.Waiters, func() { l.access(addr, isWrite, done) })
+		return
+	}
+	line := l.cache.Access(addr)
+	if line != nil {
+		if !isWrite {
+			done()
+			return
+		}
+		switch line.State {
+		case cache.Modified:
+			done()
+			return
+		case cache.Exclusive:
+			line.State = cache.Modified // silent E->M
+			done()
+			return
+		case cache.Shared:
+			l.StoreMisses.Inc()
+			l.Upgrades.Inc()
+			l.startMiss(block, noc.Upgrade, done)
+			return
+		}
+		panic("coherence: L1 access to invalid-but-present line")
+	}
+	if isWrite {
+		l.StoreMisses.Inc()
+		l.startMiss(block, noc.GetX, done)
+	} else {
+		l.LoadMisses.Inc()
+		l.startMiss(block, noc.GetS, done)
+	}
+}
+
+func (l *L1Controller) startMiss(block uint64, req noc.Type, done func()) {
+	if l.mshr.Full() {
+		// All registers busy (writeback bursts): retry shortly.
+		l.p.k.Schedule(4, func() {
+			if e := l.mshr.Lookup(block); e != nil {
+				e.Waiters = append(e.Waiters, func() { l.retryAfter(block, req, done) })
+				return
+			}
+			l.startMiss(block, req, done)
+		})
+		return
+	}
+	e := l.mshr.Allocate(block)
+	e.IsWrite = req != noc.GetS
+	start := l.p.k.Now()
+	if l.p.cfg.ReplyPartitioning {
+		// The core resumes as soon as the critical word and all acks
+		// are in; the full line install happens off its back.
+		e.PartialWaiters = append(e.PartialWaiters, done, func() {
+			l.MissLatency.Observe(float64(l.p.k.Now() - start))
+		})
+	} else {
+		e.Waiters = append(e.Waiters, done, func() {
+			l.MissLatency.Observe(float64(l.p.k.Now() - start))
+		})
+	}
+	home := HomeOf(block, l.p.cfg.Tiles)
+	m := l.p.msg(req, l.id, home, block, l.p.txn())
+	l.p.send(m)
+}
+
+func (l *L1Controller) retryAfter(block uint64, req noc.Type, done func()) {
+	// The blocking transaction finished; the line may now be present.
+	l.access(block, req != noc.GetS, done)
+}
+
+// deliver handles protocol messages addressed to this L1.
+func (l *L1Controller) deliver(m *noc.Message) {
+	switch m.Type {
+	case noc.Data, noc.DataExclusive, noc.AckNoData:
+		l.onGrant(m)
+	case noc.PartialReply:
+		l.onPartial(m)
+	case noc.InvAck:
+		l.onInvAck(m)
+	case noc.Inv:
+		l.onInv(m)
+	case noc.FwdGetS:
+		l.onFwd(m, false)
+	case noc.FwdGetX:
+		l.onFwd(m, true)
+	case noc.WBAck:
+		l.onWBAck(m)
+	default:
+		panic(fmt.Sprintf("coherence: L1 %d got %v", l.id, m.Type))
+	}
+}
+
+func (l *L1Controller) onGrant(m *noc.Message) {
+	block := l.cache.BlockOf(m.Addr)
+	e := l.mshr.Lookup(block)
+	if e == nil || e.WritebackData {
+		panic(fmt.Sprintf("coherence: L1 %d grant %v for block %#x without demand MSHR", l.id, m.Type, block))
+	}
+	e.GotData = true
+	l.addAcks(e, m)
+	e.GrantUpgrade = m.Type == noc.AckNoData
+	e.GrantExclusive = m.Type == noc.DataExclusive
+	if e.GrantUpgrade {
+		// Upgrade grant: the S line must still be here (the L1 never
+		// evicts a block with a live MSHR, and home serialization
+		// guarantees no invalidation raced ahead of this grant).
+		if line := l.cache.Probe(block); line == nil || line.State != cache.Shared {
+			panic(fmt.Sprintf("coherence: L1 %d upgrade grant without S line %#x", l.id, block))
+		}
+	}
+	l.maybeComplete(block, e)
+}
+
+// addAcks folds the expected-ack count in exactly once: under Reply
+// Partitioning both the partial and the ordinary reply carry it.
+func (l *L1Controller) addAcks(e *cache.MSHREntry, m *noc.Message) {
+	if !e.AckCounted {
+		e.PendingAcks += m.AckCount
+		e.AckCounted = true
+	}
+}
+
+// onPartial handles the Reply Partitioning critical word.
+func (l *L1Controller) onPartial(m *noc.Message) {
+	block := l.cache.BlockOf(m.Addr)
+	e := l.mshr.Lookup(block)
+	if e == nil || e.WritebackData {
+		// The ordinary reply overtook the partial and already completed
+		// the transaction; the word is redundant.
+		return
+	}
+	e.GotPartial = true
+	l.addAcks(e, m)
+	l.maybePartial(e)
+}
+
+// maybePartial resumes the core once the critical word and every ack
+// are in, possibly before the full line installs.
+func (l *L1Controller) maybePartial(e *cache.MSHREntry) {
+	if len(e.PartialWaiters) == 0 {
+		return
+	}
+	if !e.AckCounted || e.PendingAcks > 0 || !(e.GotPartial || e.GotData) {
+		return
+	}
+	ws := e.PartialWaiters
+	e.PartialWaiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+func (l *L1Controller) onInvAck(m *noc.Message) {
+	block := l.cache.BlockOf(m.Addr)
+	e := l.mshr.Lookup(block)
+	if e == nil || e.WritebackData {
+		panic(fmt.Sprintf("coherence: L1 %d stray InvAck for %#x", l.id, block))
+	}
+	e.PendingAcks--
+	l.maybeComplete(block, e)
+}
+
+func (l *L1Controller) maybeComplete(block uint64, e *cache.MSHREntry) {
+	l.maybePartial(e)
+	if !e.Complete() {
+		return
+	}
+	// Apply the grant. Ownership grants (M or E) are confirmed back to
+	// the home, which holds the block busy until then: recalls and
+	// interventions can therefore never race an in-flight ownership
+	// transfer.
+	writeOwnership, relinquish := false, false
+	switch {
+	case e.GrantUpgrade:
+		l.cache.Probe(block).State = cache.Modified
+		writeOwnership = true
+	case e.IsWrite:
+		l.insertLine(block, cache.Modified)
+		writeOwnership = true
+	case e.GrantExclusive:
+		l.insertLine(block, cache.Exclusive)
+		// A recall (or a long-delayed stale invalidation) asked us not
+		// to keep this line: use it once, then relinquish it below; the
+		// replacement traffic squares the directory.
+		relinquish = e.InvalidatedInFlight
+	case e.InvalidatedInFlight:
+		// A racing write invalidated this read before its data arrived:
+		// the data is used once by the waiters but not cached.
+	default:
+		l.insertLine(block, cache.Shared)
+	}
+	if writeOwnership {
+		home := HomeOf(block, l.p.cfg.Tiles)
+		l.p.send(l.p.msg(noc.OwnAck, l.id, home, block, l.p.txn()))
+	}
+	for _, w := range l.mshr.Free(block) {
+		w()
+	}
+	if relinquish {
+		if line := l.cache.Probe(block); line != nil {
+			l.evictLine(line)
+		}
+	}
+}
+
+// insertLine fills a granted line, evicting a victim if needed and
+// emitting the replacement traffic of Figure 4.
+func (l *L1Controller) insertLine(block uint64, st cache.State) {
+	l.evictLine(l.victimAvoidingMSHR(block))
+	if l.cache.Probe(block) != nil {
+		panic(fmt.Sprintf("coherence: L1 %d double fill %#x", l.id, block))
+	}
+	l.cache.Insert(block, st)
+}
+
+// victimAvoidingMSHR picks the eviction victim for block's set, skipping
+// lines with live MSHR entries (their transactions may still need them).
+func (l *L1Controller) victimAvoidingMSHR(block uint64) *cache.Line {
+	v := l.cache.Victim(block)
+	if !v.Valid() || l.mshr.Lookup(v.Block) == nil {
+		return v
+	}
+	var best *cache.Line
+	for _, cand := range l.cache.SetLines(block) {
+		if !cand.Valid() {
+			return cand
+		}
+		if l.mshr.Lookup(cand.Block) != nil {
+			continue
+		}
+		if best == nil {
+			best = cand
+		}
+	}
+	if best == nil {
+		panic(fmt.Sprintf("coherence: L1 %d all ways of set for %#x transaction-locked", l.id, block))
+	}
+	return best
+}
+
+// evictLine removes a valid line, emitting WriteBack/ReplacementHint and
+// opening a writeback-buffer MSHR entry for M/E lines.
+func (l *L1Controller) evictLine(v *cache.Line) {
+	if !v.Valid() {
+		return
+	}
+	st := v.State
+	block := v.Block
+	l.cache.Invalidate(block)
+	if st == cache.Shared {
+		return // silent
+	}
+	e := l.mshr.AllocateOver(block)
+	e.WritebackData = true
+	e.Dirty = st == cache.Modified
+	home := HomeOf(block, l.p.cfg.Tiles)
+	var m *noc.Message
+	if st == cache.Modified {
+		l.Writebacks.Inc()
+		m = l.p.msg(noc.WriteBack, l.id, home, block, l.p.txn())
+		m.DataBytes = noc.LineBytes
+	} else {
+		l.Hints.Inc()
+		m = l.p.msg(noc.ReplacementHint, l.id, home, block, l.p.txn())
+	}
+	l.p.send(m)
+}
+
+func (l *L1Controller) onInv(m *noc.Message) {
+	l.Invalidations.Inc()
+	block := l.cache.BlockOf(m.Addr)
+	if e := l.mshr.Lookup(block); e != nil && e.WritebackData {
+		// Recall racing our eviction: answer from the buffer.
+		rev := l.p.msg(noc.Revision, l.id, HomeOf(block, l.p.cfg.Tiles), block, m.Txn)
+		rev.NoCopy = true
+		if e.Dirty && !e.Forwarded {
+			rev.DataBytes = noc.LineBytes
+		}
+		e.Forwarded = true
+		l.p.send(rev)
+		return
+	}
+	line := l.cache.Probe(block)
+	switch {
+	case line == nil, line.State == cache.Shared:
+		// Possibly a stale-epoch invalidation of a silently evicted S
+		// copy; ack either way. Acking immediately (never deferring) is
+		// what keeps the ack dependency graph acyclic: every later
+		// ownership grant transitively waits on these acks.
+		if line != nil {
+			l.cache.Invalidate(block)
+		}
+		if e := l.mshr.Lookup(block); e != nil && !e.WritebackData && !e.IsWrite {
+			// Our own read is in flight: its shared grant may already
+			// be traveling, so mark the entry to use the data once
+			// without caching it. Writes need no mark: ownership
+			// transfers hold the home busy until acknowledged, so any
+			// invalidation reaching a pending write was serialized
+			// before it and the eventual grant stands. The ack always
+			// goes out now, keeping the ack dependency graph acyclic.
+			e.InvalidatedInFlight = true
+		}
+		ack := l.p.msg(noc.InvAck, l.id, m.ReplyTo, block, m.Txn)
+		l.p.send(ack)
+	default:
+		// Recall of an M/E owner: return the line to the home.
+		rev := l.p.msg(noc.Revision, l.id, HomeOf(block, l.p.cfg.Tiles), block, m.Txn)
+		rev.NoCopy = true
+		if line.State == cache.Modified {
+			rev.DataBytes = noc.LineBytes
+		}
+		l.cache.Invalidate(block)
+		l.p.send(rev)
+	}
+}
+
+// onFwd handles interventions: the home has named us owner.
+func (l *L1Controller) onFwd(m *noc.Message, exclusive bool) {
+	l.Interventions.Inc()
+	block := l.cache.BlockOf(m.Addr)
+	home := HomeOf(block, l.p.cfg.Tiles)
+	respond := func(dirty bool, fromBuffer bool) {
+		l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), func() {
+			data := l.p.msg(noc.Data, l.id, m.ReplyTo, block, m.Txn)
+			data.DataBytes = noc.LineBytes
+			if l.p.cfg.ReplyPartitioning {
+				pr := l.p.msg(noc.PartialReply, l.id, m.ReplyTo, block, m.Txn)
+				l.p.send(pr)
+				data.Relaxed = true
+			}
+			l.p.send(data)
+			rev := l.p.msg(noc.Revision, l.id, home, block, m.Txn)
+			if dirty {
+				rev.DataBytes = noc.LineBytes
+			}
+			rev.NoCopy = exclusive || fromBuffer
+			l.p.send(rev)
+		})
+	}
+	if e := l.mshr.Lookup(block); e != nil {
+		if e.WritebackData {
+			respond(e.Dirty && !e.Forwarded, true)
+			e.Forwarded = true
+			return
+		}
+		// Our own ownership transaction (Upgrade/GetX/E-grant GetS) has
+		// not completed yet; the home serialized this intervention after
+		// it, so service it once we complete. The completion depends
+		// only on messages already in flight, never on the intervening
+		// requestor, so this cannot deadlock.
+		e.Waiters = append(e.Waiters, func() { l.onFwd(m, exclusive) })
+		return
+	}
+	line := l.cache.Probe(block)
+	if line == nil || (line.State != cache.Modified && line.State != cache.Exclusive) {
+		panic(fmt.Sprintf("coherence: L1 %d forwarded for %#x it does not own (line=%v)", l.id, block, line))
+	}
+	dirty := line.State == cache.Modified
+	if exclusive {
+		l.cache.Invalidate(block)
+	} else {
+		line.State = cache.Shared
+	}
+	respond(dirty, false)
+}
+
+func (l *L1Controller) onWBAck(m *noc.Message) {
+	block := l.cache.BlockOf(m.Addr)
+	e := l.mshr.Lookup(block)
+	if e == nil || !e.WritebackData {
+		panic(fmt.Sprintf("coherence: L1 %d stray WBAck for %#x", l.id, block))
+	}
+	for _, w := range l.mshr.Free(block) {
+		w()
+	}
+}

@@ -1,0 +1,141 @@
+// Package compress implements the dynamic address-compression schemes the
+// paper evaluates (Section 3.1): DBRC (dynamic base register caching,
+// Farrens & Park adapted to a tiled CMP) and Stride (per-destination base
+// register with small deltas), plus Perfect and None bounds.
+//
+// A Codec models the *pair* of hardware structures: the sending structure
+// at the source core and the per-source receiving register file at the
+// destination core. Encode updates sender state and yields the on-wire
+// representation; Decode updates receiver state and must reconstruct the
+// original address exactly. Keeping both ends inside one Codec makes the
+// synchronization protocol (install indices on DBRC misses, base updates
+// on every Stride message) explicit and testable.
+//
+// Requests and coherence commands use independent structures ("their own
+// hardware structures to avoid destructive interferences between both
+// address streams"), which is why every call takes a Stream.
+package compress
+
+import "fmt"
+
+// Stream distinguishes the two independently-compressed address streams.
+type Stream uint8
+
+const (
+	// RequestStream carries L1-miss requests to home L2 slices.
+	RequestStream Stream = iota
+	// CommandStream carries coherence commands (invalidations,
+	// interventions) from home L2 slices to L1 caches.
+	CommandStream
+
+	// NumStreams is the number of independent streams.
+	NumStreams = 2
+)
+
+// String names the stream.
+func (s Stream) String() string {
+	switch s {
+	case RequestStream:
+		return "requests"
+	case CommandStream:
+		return "commands"
+	}
+	return fmt.Sprintf("Stream(%d)", uint8(s))
+}
+
+// Encoded is the on-wire representation of one address.
+type Encoded struct {
+	// Compressed reports whether the address hit in the scheme.
+	Compressed bool
+	// PayloadBytes is the size of the address payload on the wire:
+	// the scheme's compressed size on a hit, 8 bytes on a miss.
+	PayloadBytes int
+	// Payload carries the encoded bits (low-order bytes + index, or
+	// delta) on a hit, or the full address on a miss. Exposed so link
+	// energy accounting can count real bit toggles.
+	Payload uint64
+	// InstallIndex is the DBRC entry the receiver must install the new
+	// base into on a miss; -1 when not applicable.
+	InstallIndex int
+}
+
+// Codec is one address-compression scheme instance covering all
+// (source, destination, stream) endpoint pairs of a CMP.
+type Codec interface {
+	// Name is the configuration name as used in the paper's figures,
+	// e.g. "4-entry DBRC (2B LO)" or "2-byte Stride".
+	Name() string
+	// CompressedPayloadBytes is the address payload size on a hit.
+	// Combined with the 3-byte control header this sets the VL-Wire
+	// channel width (4 or 5 bytes).
+	CompressedPayloadBytes() int
+	// Encode processes an address sent src->dst on a stream, updating
+	// sender-side state.
+	Encode(src, dst int, stream Stream, addr uint64) Encoded
+	// Decode processes the arrival at dst, updating receiver-side state,
+	// and returns the reconstructed address.
+	Decode(src, dst int, stream Stream, e Encoded) uint64
+	// Reset clears all state (between benchmark runs).
+	Reset()
+}
+
+// None is the baseline: no compression, every address travels in full.
+type None struct{}
+
+// NewNone returns the no-compression codec.
+func NewNone() *None { return &None{} }
+
+// Name implements Codec.
+func (*None) Name() string { return "uncompressed" }
+
+// CompressedPayloadBytes implements Codec; None never compresses but the
+// value sets the (unused) VL width, so report the full 8 bytes.
+func (*None) CompressedPayloadBytes() int { return 8 }
+
+// Encode implements Codec.
+func (*None) Encode(src, dst int, stream Stream, addr uint64) Encoded {
+	return Encoded{Compressed: false, PayloadBytes: 8, Payload: addr, InstallIndex: -1}
+}
+
+// Decode implements Codec.
+func (*None) Decode(src, dst int, stream Stream, e Encoded) uint64 { return e.Payload }
+
+// Reset implements Codec.
+func (*None) Reset() {}
+
+// Perfect is the upper bound used for the solid lines of Figure 6: every
+// address compresses into loBytes low-order bytes.
+type Perfect struct {
+	loBytes int
+}
+
+// NewPerfect returns the perfect-coverage codec with the given low-order
+// size (1 or 2 bytes).
+func NewPerfect(loBytes int) *Perfect {
+	if loBytes < 1 || loBytes > 2 {
+		panic(fmt.Sprintf("compress: perfect codec supports 1 or 2 low-order bytes, got %d", loBytes))
+	}
+	return &Perfect{loBytes: loBytes}
+}
+
+// Name implements Codec.
+func (p *Perfect) Name() string { return fmt.Sprintf("perfect (%dB LO)", p.loBytes) }
+
+// CompressedPayloadBytes implements Codec.
+func (p *Perfect) CompressedPayloadBytes() int { return p.loBytes }
+
+// Encode implements Codec.
+func (p *Perfect) Encode(src, dst int, stream Stream, addr uint64) Encoded {
+	mask := uint64(1)<<(8*p.loBytes) - 1
+	return Encoded{Compressed: true, PayloadBytes: p.loBytes, Payload: addr & mask, InstallIndex: -1}
+}
+
+// Decode implements Codec. Perfect decode is an oracle: it cannot really
+// reconstruct high bits from thin air, so it is only valid inside the
+// simulator where the full address travels out-of-band. The message
+// manager keeps the true address; Decode returns the low bits it was
+// given, and the simulator never relies on them for Perfect runs.
+func (p *Perfect) Decode(src, dst int, stream Stream, e Encoded) uint64 { return e.Payload }
+
+// Reset implements Codec.
+func (*Perfect) Reset() {}

@@ -1,0 +1,180 @@
+package compress
+
+import "fmt"
+
+// DBRC implements dynamic base register caching (Farrens & Park [8]),
+// adapted to a tiled CMP per paper Figure 1 (left):
+//
+//   - At each sending core, per stream, a small fully-associative
+//     compression cache of address bases (the address with its low-order
+//     bytes stripped), LRU-replaced.
+//   - At each receiving core, per (source, stream), a register file
+//     mirroring the sender's cache contents for the pairs that have
+//     communicated.
+//
+// In the original bus-based DBRC there is a single receiver, so sender
+// and receiver stay trivially coherent. With 16 possible receivers, a
+// base cached at the sender may not yet be known to a given receiver:
+// each sender entry therefore carries a per-destination valid mask, and
+// a hit requires both the base match and the destination bit. Misses
+// travel uncompressed together with the entry index the receiver must
+// install the base into (the index rides in spare header bits).
+//
+// On a hit the wire carries only the low-order bytes (plus the entry
+// index in spare header bits), so the compressed payload is loBytes and
+// the whole message fits the 3+loBytes+1 = 4- or 5-byte VL channel.
+type DBRC struct {
+	entries int
+	loBytes int
+	cores   int
+
+	senders   []dbrcSender   // [core*NumStreams + stream]
+	receivers []dbrcReceiver // [ (dst*cores + src)*NumStreams + stream ]
+}
+
+type dbrcEntry struct {
+	base    uint64
+	valid   bool
+	dstMask uint32
+	lastUse uint64
+}
+
+type dbrcSender struct {
+	entries []dbrcEntry
+	clock   uint64
+}
+
+type dbrcReceiver struct {
+	bases []uint64
+	valid []bool
+}
+
+// NewDBRC builds an entries-way DBRC codec with loBytes (1 or 2)
+// uncompressed low-order bytes, for a CMP with cores tiles.
+func NewDBRC(entries, loBytes, cores int) *DBRC {
+	if entries < 1 || entries > 256 {
+		panic(fmt.Sprintf("compress: DBRC entries must be 1..256, got %d", entries))
+	}
+	if loBytes < 1 || loBytes > 2 {
+		panic(fmt.Sprintf("compress: DBRC low-order bytes must be 1 or 2, got %d", loBytes))
+	}
+	if cores < 2 || cores > 32 {
+		panic(fmt.Sprintf("compress: DBRC cores must be 2..32, got %d", cores))
+	}
+	d := &DBRC{entries: entries, loBytes: loBytes, cores: cores}
+	d.Reset()
+	return d
+}
+
+// Name implements Codec, matching the paper's figure labels.
+func (d *DBRC) Name() string {
+	return fmt.Sprintf("%d-entry DBRC (%dB LO)", d.entries, d.loBytes)
+}
+
+// Entries returns the compression-cache entry count.
+func (d *DBRC) Entries() int { return d.entries }
+
+// LowOrderBytes returns the uncompressed low-order byte count.
+func (d *DBRC) LowOrderBytes() int { return d.loBytes }
+
+// CompressedPayloadBytes implements Codec.
+func (d *DBRC) CompressedPayloadBytes() int { return d.loBytes }
+
+// Reset implements Codec.
+func (d *DBRC) Reset() {
+	d.senders = make([]dbrcSender, d.cores*NumStreams)
+	for i := range d.senders {
+		d.senders[i].entries = make([]dbrcEntry, d.entries)
+	}
+	d.receivers = make([]dbrcReceiver, d.cores*d.cores*NumStreams)
+	for i := range d.receivers {
+		d.receivers[i].bases = make([]uint64, d.entries)
+		d.receivers[i].valid = make([]bool, d.entries)
+	}
+}
+
+func (d *DBRC) sender(src int, stream Stream) *dbrcSender {
+	return &d.senders[src*NumStreams+int(stream)]
+}
+
+func (d *DBRC) receiver(src, dst int, stream Stream) *dbrcReceiver {
+	return &d.receivers[(dst*d.cores+src)*NumStreams+int(stream)]
+}
+
+func (d *DBRC) loMask() uint64 { return uint64(1)<<(8*d.loBytes) - 1 }
+
+// Encode implements Codec.
+func (d *DBRC) Encode(src, dst int, stream Stream, addr uint64) Encoded {
+	d.checkPair(src, dst)
+	s := d.sender(src, stream)
+	s.clock++
+	base := addr >> (8 * d.loBytes)
+	dstBit := uint32(1) << uint(dst)
+
+	// Fully-associative lookup.
+	hit := -1
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.valid && e.base == base {
+			hit = i
+			break
+		}
+	}
+	if hit >= 0 {
+		e := &s.entries[hit]
+		e.lastUse = s.clock
+		if e.dstMask&dstBit != 0 {
+			// Compressed: low-order bytes on the wire, index in header.
+			return Encoded{
+				Compressed:   true,
+				PayloadBytes: d.loBytes,
+				Payload:      addr & d.loMask(),
+				InstallIndex: hit,
+			}
+		}
+		// The base is cached here but this receiver has never seen it:
+		// send in full and tell the receiver where to install it.
+		e.dstMask |= dstBit
+		return Encoded{Compressed: false, PayloadBytes: 8, Payload: addr, InstallIndex: hit}
+	}
+
+	// Miss: evict the LRU entry (or fill an invalid one).
+	victim := 0
+	for i := range s.entries {
+		if !s.entries[i].valid {
+			victim = i
+			break
+		}
+		if s.entries[i].lastUse < s.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	s.entries[victim] = dbrcEntry{base: base, valid: true, dstMask: dstBit, lastUse: s.clock}
+	return Encoded{Compressed: false, PayloadBytes: 8, Payload: addr, InstallIndex: victim}
+}
+
+// Decode implements Codec.
+func (d *DBRC) Decode(src, dst int, stream Stream, e Encoded) uint64 {
+	d.checkPair(src, dst)
+	r := d.receiver(src, dst, stream)
+	if e.InstallIndex < 0 || e.InstallIndex >= d.entries {
+		panic(fmt.Sprintf("compress: DBRC decode with bad index %d", e.InstallIndex))
+	}
+	if !e.Compressed {
+		addr := e.Payload
+		r.bases[e.InstallIndex] = addr >> (8 * d.loBytes)
+		r.valid[e.InstallIndex] = true
+		return addr
+	}
+	if !r.valid[e.InstallIndex] {
+		panic(fmt.Sprintf("compress: DBRC receiver %d<-%d %v entry %d used before install",
+			dst, src, stream, e.InstallIndex))
+	}
+	return r.bases[e.InstallIndex]<<(8*d.loBytes) | (e.Payload & d.loMask())
+}
+
+func (d *DBRC) checkPair(src, dst int) {
+	if src < 0 || src >= d.cores || dst < 0 || dst >= d.cores {
+		panic(fmt.Sprintf("compress: DBRC endpoint out of range src=%d dst=%d cores=%d", src, dst, d.cores))
+	}
+}

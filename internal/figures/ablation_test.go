@@ -1,0 +1,86 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAblationWiringQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	rows, table, err := AblationWiring(Quick(), []string{"MP3D", "Water-nsq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 2 apps x 3 layouts", len(rows))
+	}
+	out := table.String()
+	for _, want := range []string{"VL+B (paper)", "L+PW +RP", "VL+B+PW +RP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing layout %q", want)
+		}
+	}
+	for _, r := range rows {
+		if r.NormTime <= 0 || r.NormTime > 1.5 {
+			t.Errorf("%s/%s: norm time %.3f out of range", r.App, r.Layout, r.NormTime)
+		}
+		if strings.Contains(r.Layout, "PW") && r.PWFraction == 0 {
+			t.Errorf("%s/%s: PW layout with no PW traffic", r.App, r.Layout)
+		}
+	}
+}
+
+func TestAblationDBRCSizeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	rows, table, err := AblationDBRCSize(Quick(), "FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5 entry counts", len(rows))
+	}
+	if !strings.Contains(table.String(), "32") {
+		t.Error("untabulated 32-entry point missing")
+	}
+	// Coverage must be non-decreasing in entries.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Coverage+0.03 < rows[i-1].Coverage {
+			t.Errorf("coverage not monotone: %d entries %.2f < %d entries %.2f",
+				rows[i].Entries, rows[i].Coverage, rows[i-1].Entries, rows[i-1].Coverage)
+		}
+	}
+}
+
+func TestAblationSensitivityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	rows, table, err := AblationSensitivity(Quick(), "MP3D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if !strings.Contains(table.String(), "Router stages") {
+		t.Error("table header missing")
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[key(r.RouterLatency, r.LinkScale)] = r.NormTime
+	}
+	// Slower wires amplify the win; deeper routers dilute it.
+	if byKey[key(2, 2.0)] >= byKey[key(2, 0.5)] {
+		t.Errorf("slow wires %f should beat fast wires %f", byKey[key(2, 2.0)], byKey[key(2, 0.5)])
+	}
+	if byKey[key(1, 1.0)] >= byKey[key(4, 1.0)] {
+		t.Errorf("shallow routers %f should beat deep routers %f", byKey[key(1, 1.0)], byKey[key(4, 1.0)])
+	}
+}
+
+func key(r int, s float64) string { return fmt.Sprintf("%d/%.1f", r, s) }

@@ -1,0 +1,184 @@
+package figures
+
+import (
+	"fmt"
+
+	"tilesim/internal/cmp"
+	"tilesim/internal/compress"
+	"tilesim/internal/energy"
+	"tilesim/internal/stats"
+)
+
+// Figure67Result holds one application's full sweep: the baseline run
+// plus every bar and line configuration, with the three normalized
+// metrics the paper plots (execution time, link ED^2P, full-CMP ED^2P).
+type Figure67Result struct {
+	App string
+	// Configs maps the configuration label to its normalized metrics.
+	Rows []Figure67Row
+}
+
+// Figure67Row is one (application, configuration) point.
+type Figure67Row struct {
+	Config string
+	// Perfect marks the solid-line upper bounds of Figure 6.
+	Perfect bool
+	// NormTime is execution time relative to the baseline (Fig. 6 top).
+	NormTime float64
+	// NormLinkED2P is the link energy-delay^2 ratio (Fig. 6 bottom).
+	NormLinkED2P float64
+	// NormChipED2P is the full-CMP energy-delay^2 ratio (Fig. 7).
+	NormChipED2P float64
+	// Coverage is the achieved compression coverage.
+	Coverage float64
+}
+
+// ICShare is the interconnect share of baseline chip energy used by the
+// full-CMP model (the Raw measurement the paper cites [22]).
+const ICShare = 0.36
+
+// sweepSpecs returns the bar configurations plus the perfect lines.
+func sweepSpecs() (bars, lines []compress.Spec) {
+	return compress.Figure6Specs(), compress.PerfectSpecs()
+}
+
+// Figure67 runs the whole Figure 6 + Figure 7 sweep.
+func Figure67(scale Scale) ([]Figure67Result, error) {
+	bars, lines := sweepSpecs()
+	var out []Figure67Result
+	for _, app := range Apps() {
+		base, err := cmp.Run(cmp.RunConfig{
+			App:         app,
+			RefsPerCore: scale.RefsPerCore,
+			WarmupRefs:  scale.WarmupRefs,
+			Seed:        scale.Seed,
+			Compression: compress.Spec{Kind: "none"},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure 6/7 baseline %s: %w", app, err)
+		}
+		// Full-CMP model calibrated on this application's baseline.
+		model := energy.Calibrate(base.InterconnectJ, base.ExecCycles, ICShare, 16)
+		baseChipJ, err := model.ChipJ(base.InterconnectJ, base.ExecCycles, "", 0)
+		if err != nil {
+			return nil, err
+		}
+		baseChipED2P := energy.ED2P(baseChipJ, base.ExecCycles)
+		baseLinkED2P := base.LinkED2P()
+
+		res := Figure67Result{App: app}
+		runOne := func(spec compress.Spec, perfect bool) error {
+			r, err := cmp.Run(cmp.RunConfig{
+				App:           app,
+				RefsPerCore:   scale.RefsPerCore,
+				WarmupRefs:    scale.WarmupRefs,
+				Seed:          scale.Seed,
+				Compression:   spec,
+				Heterogeneous: true,
+			})
+			if err != nil {
+				return fmt.Errorf("figure 6/7 %s/%s: %w", app, spec.Label(), err)
+			}
+			chipJ, err := model.ChipJ(r.InterconnectJ, r.ExecCycles, r.Table1Scheme, r.ComprEvents)
+			if err != nil {
+				return err
+			}
+			res.Rows = append(res.Rows, Figure67Row{
+				Config:       spec.Label(),
+				Perfect:      perfect,
+				NormTime:     float64(r.ExecCycles) / float64(base.ExecCycles),
+				NormLinkED2P: r.LinkED2P() / baseLinkED2P,
+				NormChipED2P: energy.ED2P(chipJ, r.ExecCycles) / baseChipED2P,
+				Coverage:     r.Coverage,
+			})
+			return nil
+		}
+		for _, spec := range bars {
+			if err := runOne(spec, false); err != nil {
+				return nil, err
+			}
+		}
+		for _, spec := range lines {
+			if err := runOne(spec, true); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// metric selects a column of Figure67Row.
+type metric func(Figure67Row) float64
+
+// tableOf renders one metric of a sweep as application rows x
+// configuration columns, appending a cross-application average row.
+func tableOf(results []Figure67Result, pick metric, format string) *stats.Table {
+	if len(results) == 0 {
+		return stats.NewTable("Application")
+	}
+	cols := []string{"Application"}
+	for _, row := range results[0].Rows {
+		label := row.Config
+		if row.Perfect {
+			label += " [line]"
+		}
+		cols = append(cols, label)
+	}
+	t := stats.NewTable(cols...)
+	sums := make([]float64, len(results[0].Rows))
+	for _, res := range results {
+		row := []string{res.App}
+		for i, r := range res.Rows {
+			row = append(row, fmt.Sprintf(format, pick(r)))
+			sums[i] += pick(r)
+		}
+		t.AddRow(row...)
+	}
+	avg := []string{"AVERAGE"}
+	for _, s := range sums {
+		avg = append(avg, fmt.Sprintf(format, s/float64(len(results))))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// Figure6TopTable renders normalized execution time.
+func Figure6TopTable(results []Figure67Result) *stats.Table {
+	return tableOf(results, func(r Figure67Row) float64 { return r.NormTime }, "%.3f")
+}
+
+// Figure6BottomTable renders normalized link ED^2P.
+func Figure6BottomTable(results []Figure67Result) *stats.Table {
+	return tableOf(results, func(r Figure67Row) float64 { return r.NormLinkED2P }, "%.3f")
+}
+
+// Figure7Table renders normalized full-CMP ED^2P.
+func Figure7Table(results []Figure67Result) *stats.Table {
+	return tableOf(results, func(r Figure67Row) float64 { return r.NormChipED2P }, "%.3f")
+}
+
+// Average returns the cross-application mean of a metric for the given
+// configuration label.
+func Average(results []Figure67Result, config string, pick metric) float64 {
+	var sum float64
+	var n int
+	for _, res := range results {
+		for _, r := range res.Rows {
+			if r.Config == config {
+				sum += pick(r)
+				n++
+			}
+		}
+	}
+	return stats.Ratio(sum, float64(n))
+}
+
+// NormTime is the execution-time metric selector for Average.
+func NormTime(r Figure67Row) float64 { return r.NormTime }
+
+// NormLinkED2P is the link-ED^2P metric selector for Average.
+func NormLinkED2P(r Figure67Row) float64 { return r.NormLinkED2P }
+
+// NormChipED2P is the full-CMP-ED^2P metric selector for Average.
+func NormChipED2P(r Figure67Row) float64 { return r.NormChipED2P }

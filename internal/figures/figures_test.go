@@ -1,0 +1,144 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"tilesim/internal/noc"
+)
+
+func TestTablesRender(t *testing.T) {
+	t1 := Table1().String()
+	for _, want := range []string{"4-entry DBRC", "64-entry DBRC", "2-byte Stride", "1088", "17408"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2().String()
+	for _, want := range []string{"B-Wire (8X)", "PW-Wire (4X)", "1.00x", "3.20x"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, t2)
+		}
+	}
+	t3 := Table3().String()
+	for _, want := range []string{"VL-Wire (3B)", "VL-Wire (5B)", "0.27x", "14.0x"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, t3)
+		}
+	}
+}
+
+func TestFigure2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	results, table, err := Figure2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 13*8 {
+		t.Fatalf("%d cells, want 13 apps x 8 configs", len(results))
+	}
+	if !strings.Contains(table.String(), "Barnes-Hut") {
+		t.Error("table missing applications")
+	}
+	// Structural expectations that hold even at quick scale:
+	byKey := map[string]float64{}
+	for _, r := range results {
+		byKey[r.App+"|"+r.Scheme] = r.Coverage
+	}
+	// 2B low-order dominates 1B for the same DBRC size.
+	for _, app := range []string{"FFT", "MP3D", "Water-nsq"} {
+		if byKey[app+"|4-entry DBRC (2B LO)"] < byKey[app+"|4-entry DBRC (1B LO)"] {
+			t.Errorf("%s: 2B LO coverage below 1B LO", app)
+		}
+	}
+	// More entries never hurt (same LO).
+	for _, app := range Apps() {
+		if byKey[app+"|64-entry DBRC (2B LO)"]+0.02 < byKey[app+"|4-entry DBRC (2B LO)"] {
+			t.Errorf("%s: 64-entry coverage %.2f below 4-entry %.2f",
+				app, byKey[app+"|64-entry DBRC (2B LO)"], byKey[app+"|4-entry DBRC (2B LO)"])
+		}
+	}
+	// Radix's scatter defeats small DBRCs (the paper's Figure 2 callout).
+	if byKey["Radix|4-entry DBRC (2B LO)"] > 0.5 {
+		t.Errorf("Radix 4-entry coverage %.2f, expected low", byKey["Radix|4-entry DBRC (2B LO)"])
+	}
+}
+
+func TestFigure5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	results, table, err := Figure5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 13 {
+		t.Fatalf("%d apps", len(results))
+	}
+	if !strings.Contains(table.String(), "Requests") {
+		t.Error("table header missing")
+	}
+	for _, m := range results {
+		var sum float64
+		for c := 0; c < int(noc.NumClasses); c++ {
+			sum += m.Fraction[c]
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: class fractions sum to %.3f", m.App, sum)
+		}
+		if m.ShortWithAddr <= 0 || m.ShortWithAddr >= 1 {
+			t.Errorf("%s: short-with-address fraction %.2f", m.App, m.ShortWithAddr)
+		}
+	}
+}
+
+func TestFigure67Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// One app keeps the quick test fast while exercising the whole
+	// pipeline (the full sweep runs in cmd/figures and the benchmarks).
+	scale := Quick()
+	results, err := Figure67(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 13 {
+		t.Fatalf("%d apps", len(results))
+	}
+	for _, res := range results {
+		if len(res.Rows) != 8 { // 6 bars + 2 perfect lines
+			t.Fatalf("%s: %d rows, want 8", res.App, len(res.Rows))
+		}
+		for _, r := range res.Rows {
+			if r.NormTime <= 0 || r.NormTime > 1.2 {
+				t.Errorf("%s/%s: norm time %.3f out of range", res.App, r.Config, r.NormTime)
+			}
+			if r.NormLinkED2P <= 0 || r.NormLinkED2P > 1.2 {
+				t.Errorf("%s/%s: link ED2P %.3f out of range", res.App, r.Config, r.NormLinkED2P)
+			}
+			if r.NormChipED2P <= 0 || r.NormChipED2P > 1.2 {
+				t.Errorf("%s/%s: chip ED2P %.3f out of range", res.App, r.Config, r.NormChipED2P)
+			}
+		}
+	}
+	// Rendering works and includes the averages row.
+	for _, tb := range []string{
+		Figure6TopTable(results).String(),
+		Figure6BottomTable(results).String(),
+		Figure7Table(results).String(),
+	} {
+		if !strings.Contains(tb, "AVERAGE") || !strings.Contains(tb, "[line]") {
+			t.Error("rendered table missing AVERAGE row or perfect lines")
+		}
+	}
+	// The headline direction: the proposal helps on average.
+	if avg := Average(results, "4-entry DBRC (2B LO)", NormTime); avg >= 1.0 {
+		t.Errorf("average normalized time %.3f, expected < 1", avg)
+	}
+	if avg := Average(results, "4-entry DBRC (2B LO)", NormLinkED2P); avg >= 1.0 {
+		t.Errorf("average link ED2P %.3f, expected < 1", avg)
+	}
+}

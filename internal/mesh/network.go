@@ -1,0 +1,428 @@
+package mesh
+
+import (
+	"fmt"
+
+	"tilesim/internal/noc"
+	"tilesim/internal/sim"
+	"tilesim/internal/stats"
+	"tilesim/internal/wire"
+)
+
+// Plane selects the physical channel set a message travels on.
+type Plane int
+
+const (
+	// PlaneB is the baseline-wire channel (always present).
+	PlaneB Plane = iota
+	// PlaneVL is the low-latency channel: VL-Wires in the paper's
+	// proposal, L-Wires in the Cheng-style layout of the Reply
+	// Partitioning extension.
+	PlaneVL
+	// PlanePW is the power-optimized channel for non-critical messages
+	// (present only in the Reply Partitioning layouts).
+	PlanePW
+
+	numPlanes
+)
+
+// String names the plane.
+func (p Plane) String() string {
+	switch p {
+	case PlaneB:
+		return "B"
+	case PlaneVL:
+		return "VL"
+	case PlanePW:
+		return "PW"
+	}
+	return "?"
+}
+
+// ChannelConfig describes one wire plane of every link.
+type ChannelConfig struct {
+	Kind       wire.Kind
+	WidthBytes int
+}
+
+// Config parameterizes the network.
+type Config struct {
+	Width, Height int
+	// RouterLatency is the per-hop router pipeline depth in cycles.
+	RouterLatency int
+	// Channels maps each plane to its wire design; a zero-width plane is
+	// absent. PlaneB must be present.
+	Channels [numPlanes]ChannelConfig
+	// LinkLengthM is the physical link length (5 mm in the paper).
+	LinkLengthM float64
+	// LinkCyclesScale scales every channel's wire-traversal cycles
+	// (rounded up, minimum 1); 0 means 1.0. Used by the sensitivity
+	// ablation to explore faster/slower wire technology around the
+	// calibrated 0.4 ns/mm point.
+	LinkCyclesScale float64
+}
+
+// DefaultBaseline returns the paper's baseline network: 4x4 mesh,
+// 75-byte B-Wire (8X) unidirectional links, 5 mm, 2-stage routers (the
+// speculative two-stage pipeline typical of the paper's era).
+func DefaultBaseline() Config {
+	return Config{
+		Width: 4, Height: 4,
+		RouterLatency: 2,
+		Channels: [numPlanes]ChannelConfig{
+			PlaneB: {Kind: wire.B8X, WidthBytes: 75},
+		},
+		LinkLengthM: wire.LinkLengthM,
+	}
+}
+
+// Heterogeneous returns the proposal's network: each link split into a
+// vlBytes-wide VL-Wire channel (3, 4 or 5 bytes) plus a 34-byte B-Wire
+// channel (Section 4.3).
+func Heterogeneous(vlBytes int) (Config, error) {
+	kind, err := wire.VLForWidth(vlBytes)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Width: 4, Height: 4,
+		RouterLatency: 2,
+		Channels: [numPlanes]ChannelConfig{
+			PlaneB:  {Kind: wire.B8X, WidthBytes: 34},
+			PlaneVL: {Kind: kind, WidthBytes: vlBytes},
+		},
+		LinkLengthM: wire.LinkLengthM,
+	}, nil
+}
+
+// LayoutLPW returns the Cheng et al. / Reply Partitioning layout: an
+// 11-byte L-Wire channel carries whole short critical messages with no
+// compression needed, and the remaining metal budget becomes a 62-byte
+// PW-Wire channel for non-critical traffic (no separate B plane: the PW
+// channel doubles as the bulk plane).
+//
+// Area check against the 75-byte B-Wire budget (600 tracks):
+// 11 B x 8 x 4.0 (L) = 352; 62 B x 8 x 0.5 (PW) = 248; total 600.
+func LayoutLPW() Config {
+	return Config{
+		Width: 4, Height: 4,
+		RouterLatency: 2,
+		Channels: [numPlanes]ChannelConfig{
+			PlaneVL: {Kind: wire.L8X, WidthBytes: 11},
+			PlanePW: {Kind: wire.PW4X, WidthBytes: 62},
+		},
+		LinkLengthM: wire.LinkLengthM,
+	}
+}
+
+// LayoutVLBPW returns the combined design the paper sketches as future
+// work: compression + VL-Wires for critical shorts, a small B channel
+// for uncompressed shorts and partial replies, and a PW channel for the
+// non-critical bulk.
+//
+// Area check: 4 B x 8 x 10 (VL4B) = 320 or 5 B x 8 x 8 (VL5B) = 320;
+// 20 B x 8 x 1 (B) = 160; 30 B x 8 x 0.5 (PW) = 120; total 600.
+func LayoutVLBPW(vlBytes int) (Config, error) {
+	kind, err := wire.VLForWidth(vlBytes)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Width: 4, Height: 4,
+		RouterLatency: 2,
+		Channels: [numPlanes]ChannelConfig{
+			PlaneB:  {Kind: wire.B8X, WidthBytes: 20},
+			PlaneVL: {Kind: kind, WidthBytes: vlBytes},
+			PlanePW: {Kind: wire.PW4X, WidthBytes: 30},
+		},
+		LinkLengthM: wire.LinkLengthM,
+	}, nil
+}
+
+// Observer receives physical activity for energy accounting. Implemented
+// by energy.Meter; a nil observer disables accounting.
+type Observer interface {
+	// LinkTraversal is called once per message per link: the message's
+	// payload bits cross lengthM of kind wires in flits flits.
+	LinkTraversal(kind wire.Kind, lengthM float64, msgBytes, flits int)
+	// RouterHop is called once per message per router traversed.
+	RouterHop(msgBytes, flits int)
+}
+
+// channel is one wire plane of one directed link.
+type channel struct {
+	cfg      ChannelConfig
+	cycles   int      // head traversal latency
+	nextFree sim.Time // first cycle a new head flit may enter
+	flits    stats.Counter
+	busy     stats.Counter // cycles occupied, for utilization
+}
+
+// Handler consumes messages delivered at a tile.
+type Handler func(*sim.Kernel, *noc.Message)
+
+// Network is the mesh interconnect.
+type Network struct {
+	k        *sim.Kernel
+	topo     Topology
+	cfg      Config
+	obs      Observer
+	handlers []Handler
+
+	// links[from][dir] indexed flat: directed link from tile a to
+	// adjacent tile b stored at linkIndex(a, b).
+	channels map[int]*[numPlanes]*channel
+
+	inFlight int
+
+	// Per-class latency statistics (message inject -> tail delivery).
+	latency [noc.NumClasses]stats.Mean
+	latHist [noc.NumClasses]*stats.Histogram
+	byPlane [numPlanes]stats.Counter
+	msgs    [noc.NumClasses]stats.Counter
+	bytes   [noc.NumClasses]stats.Counter
+	hopWait stats.Mean // queueing cycles per hop, congestion signal
+}
+
+// New builds a network on kernel k. obs may be nil.
+func New(k *sim.Kernel, cfg Config, obs Observer) *Network {
+	if cfg.Channels[PlaneB].WidthBytes <= 0 && cfg.Channels[PlanePW].WidthBytes <= 0 {
+		panic("mesh: a bulk channel (PlaneB or PlanePW) is mandatory")
+	}
+	if cfg.RouterLatency < 1 {
+		panic("mesh: router latency must be >= 1 cycle")
+	}
+	topo := NewTopology(cfg.Width, cfg.Height)
+	n := &Network{
+		k:        k,
+		topo:     topo,
+		cfg:      cfg,
+		obs:      obs,
+		handlers: make([]Handler, topo.Tiles()),
+		channels: make(map[int]*[numPlanes]*channel),
+	}
+	for c := range n.latHist {
+		// 2-cycle buckets up to 512 cycles; congested tails overflow
+		// into the exact-max tracking.
+		n.latHist[c] = stats.NewHistogram(256, 2)
+	}
+	// Create directed links between adjacent tiles.
+	for id := 0; id < topo.Tiles(); id++ {
+		c := topo.CoordOf(id)
+		for _, nb := range []Coord{{c.X + 1, c.Y}, {c.X - 1, c.Y}, {c.X, c.Y + 1}, {c.X, c.Y - 1}} {
+			if nb.X < 0 || nb.X >= topo.W || nb.Y < 0 || nb.Y >= topo.H {
+				continue
+			}
+			var planes [numPlanes]*channel
+			for p := Plane(0); p < numPlanes; p++ {
+				if cfg.Channels[p].WidthBytes > 0 {
+					cycles := wire.LatencyCycles(cfg.Channels[p].Kind)
+					if cfg.LinkCyclesScale > 0 {
+						cycles = int(float64(cycles)*cfg.LinkCyclesScale + 0.999999)
+						if cycles < 1 {
+							cycles = 1
+						}
+					}
+					planes[p] = &channel{
+						cfg:    cfg.Channels[p],
+						cycles: cycles,
+					}
+				}
+			}
+			n.channels[n.linkIndex(id, topo.IDOf(nb))] = &planes
+		}
+	}
+	return n
+}
+
+func (n *Network) linkIndex(from, to int) int { return from*n.topo.Tiles() + to }
+
+// Topology returns the mesh topology.
+func (n *Network) Topology() Topology { return n.topo }
+
+// SetHandler installs the delivery callback for a tile.
+func (n *Network) SetHandler(tile int, h Handler) {
+	n.handlers[tile] = h
+}
+
+// InFlight returns the number of messages currently traversing the mesh.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// HasPlane reports whether the configuration includes the plane.
+func (n *Network) HasPlane(p Plane) bool { return n.cfg.Channels[p].WidthBytes > 0 }
+
+// PlaneWidth returns the channel width of a plane in bytes (0 if absent).
+func (n *Network) PlaneWidth(p Plane) int { return n.cfg.Channels[p].WidthBytes }
+
+// Send injects a message. The message must have SizeBytes set and, if
+// m.VL, the VL plane must exist and the message must fit policy-wise
+// (the message manager guarantees this; the mesh enforces only that the
+// plane exists).
+func (n *Network) Send(m *noc.Message) {
+	if err := m.Validate(n.topo.Tiles()); err != nil {
+		panic(err)
+	}
+	plane := PlaneB
+	switch {
+	case m.VL && m.PW:
+		panic(fmt.Sprintf("mesh: message %v requests both VL and PW planes", m.Type))
+	case m.VL:
+		plane = PlaneVL
+	case m.PW:
+		plane = PlanePW
+	}
+	if !n.HasPlane(plane) {
+		panic(fmt.Sprintf("mesh: message %v requests absent plane %v", m.Type, plane))
+	}
+	route := n.topo.RouteXY(m.Src, m.Dst)
+	if len(route) == 0 {
+		panic("mesh: zero-length route")
+	}
+	n.inFlight++
+	injected := n.k.Now()
+	flits := noc.Flits(m.SizeBytes, n.cfg.Channels[plane].WidthBytes)
+	n.byPlane[plane].Inc()
+	n.hop(m, plane, injected, m.Src, route, 0, flits)
+}
+
+// hop models the head flit leaving tile `at` toward route[idx].
+func (n *Network) hop(m *noc.Message, plane Plane, injected sim.Time, at int, route []int, idx, flits int) {
+	next := route[idx]
+	planes := n.channels[n.linkIndex(at, next)]
+	if planes == nil {
+		panic(fmt.Sprintf("mesh: no link %d->%d", at, next))
+	}
+	ch := planes[plane]
+	// Router pipeline, then wait for the output channel.
+	ready := n.k.Now() + sim.Time(n.cfg.RouterLatency)
+	start := ready
+	if ch.nextFree > start {
+		start = ch.nextFree
+	}
+	n.hopWait.Observe(float64(start - ready))
+	ch.nextFree = start + sim.Time(flits)
+	ch.flits.Add(uint64(flits))
+	ch.busy.Add(uint64(flits))
+	if n.obs != nil {
+		n.obs.RouterHop(m.SizeBytes, flits)
+		n.obs.LinkTraversal(ch.cfg.Kind, n.cfg.LinkLengthM, m.SizeBytes, flits)
+	}
+	headArrives := start + sim.Time(ch.cycles)
+	n.k.ScheduleAt(headArrives, func() {
+		if next == m.Dst {
+			// Final router pipeline plus tail serialization.
+			deliver := n.k.Now() + sim.Time(n.cfg.RouterLatency) + sim.Time(flits-1)
+			n.k.ScheduleAt(deliver, func() { n.deliver(m, injected) })
+			return
+		}
+		n.hop(m, plane, injected, next, route, idx+1, flits)
+	})
+}
+
+func (n *Network) deliver(m *noc.Message, injected sim.Time) {
+	n.inFlight--
+	class := noc.ClassOf(m.Type)
+	lat := float64(n.k.Now() - injected)
+	n.latency[class].Observe(lat)
+	n.latHist[class].Observe(lat)
+	n.msgs[class].Inc()
+	n.bytes[class].Add(uint64(m.SizeBytes))
+	h := n.handlers[m.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("mesh: no handler at tile %d for %v", m.Dst, m.Type))
+	}
+	h(n.k, m)
+}
+
+// Summary aggregates network statistics.
+type Summary struct {
+	Messages       [noc.NumClasses]uint64
+	Bytes          [noc.NumClasses]uint64
+	MeanLatency    [noc.NumClasses]float64
+	PlaneMessages  [numPlanes]uint64
+	MeanHopQueuing float64
+	TotalFlits     uint64
+}
+
+// Summary returns the accumulated statistics.
+func (n *Network) Summary() Summary {
+	var s Summary
+	for c := 0; c < int(noc.NumClasses); c++ {
+		s.Messages[c] = n.msgs[c].Value()
+		s.Bytes[c] = n.bytes[c].Value()
+		s.MeanLatency[c] = n.latency[c].Value()
+	}
+	for p := 0; p < int(numPlanes); p++ {
+		s.PlaneMessages[p] = n.byPlane[p].Value()
+	}
+	s.MeanHopQueuing = n.hopWait.Value()
+	for _, planes := range n.channels {
+		for _, ch := range planes {
+			if ch != nil {
+				s.TotalFlits += ch.flits.Value()
+			}
+		}
+	}
+	return s
+}
+
+// TotalMessages returns the delivered message count across classes.
+func (s Summary) TotalMessages() uint64 {
+	var t uint64
+	for _, v := range s.Messages {
+		t += v
+	}
+	return t
+}
+
+// Sub returns the summary of the window between prev and s: counters are
+// differenced; the latency means (not decomposable) keep the full-run
+// values.
+func (s Summary) Sub(prev Summary) Summary {
+	out := s
+	for c := range out.Messages {
+		out.Messages[c] -= prev.Messages[c]
+		out.Bytes[c] -= prev.Bytes[c]
+	}
+	for p := range out.PlaneMessages {
+		out.PlaneMessages[p] -= prev.PlaneMessages[p]
+	}
+	out.TotalFlits -= prev.TotalFlits
+	return out
+}
+
+// LatencyPercentile returns the p-th percentile (p in [0,1]) of
+// end-to-end latency for a message class, at 2-cycle resolution.
+func (n *Network) LatencyPercentile(c noc.Class, p float64) float64 {
+	return n.latHist[c].Percentile(p)
+}
+
+// StaticWireStats describes the standing wire resources for leakage
+// accounting: per plane, the number of wires and their kind across all
+// directed links.
+type StaticWireStats struct {
+	Kind   wire.Kind
+	Wires  int // total across all links
+	Length float64
+}
+
+// StaticWires returns the standing wire inventory per plane.
+func (n *Network) StaticWires() []StaticWireStats {
+	nLinks := len(n.channels)
+	var out []StaticWireStats
+	for p := Plane(0); p < numPlanes; p++ {
+		cfg := n.cfg.Channels[p]
+		if cfg.WidthBytes == 0 {
+			continue
+		}
+		out = append(out, StaticWireStats{
+			Kind:   cfg.Kind,
+			Wires:  cfg.WidthBytes * 8 * nLinks,
+			Length: n.cfg.LinkLengthM,
+		})
+	}
+	return out
+}
+
+// Links returns the number of directed links in the mesh.
+func (n *Network) Links() int { return len(n.channels) }

@@ -1,0 +1,101 @@
+// Package mesh implements the 2D-mesh switched direct network of the
+// tiled CMP: XY dimension-order routing, a 3-cycle router pipeline per
+// hop, and per-link physical channels (wire planes) with wormhole
+// serialization and FCFS occupancy-based contention.
+//
+// The timing model is flit-level wormhole switching with unbounded router
+// buffers: the head flit of a message waits for the output channel to
+// drain the previous message's tail (nextFree), then streams its flits
+// one per cycle; the tail trails the head by flits-1 cycles along the
+// whole path. This captures the serialization, queueing and wire-latency
+// effects the paper's proposal acts on, without modeling virtual-channel
+// credit loops (see DESIGN.md).
+package mesh
+
+import "fmt"
+
+// Coord is a tile position in the mesh.
+type Coord struct{ X, Y int }
+
+// Topology is a W x H 2D mesh of tiles numbered row-major.
+type Topology struct{ W, H int }
+
+// NewTopology validates and builds a topology.
+func NewTopology(w, h int) Topology {
+	if w < 2 || h < 1 || w*h < 2 {
+		panic(fmt.Sprintf("mesh: degenerate topology %dx%d", w, h))
+	}
+	return Topology{W: w, H: h}
+}
+
+// Tiles returns the tile count.
+func (t Topology) Tiles() int { return t.W * t.H }
+
+// CoordOf returns the position of tile id.
+func (t Topology) CoordOf(id int) Coord {
+	if id < 0 || id >= t.Tiles() {
+		panic(fmt.Sprintf("mesh: tile %d out of range", id))
+	}
+	return Coord{X: id % t.W, Y: id / t.W}
+}
+
+// IDOf returns the tile id at a position.
+func (t Topology) IDOf(c Coord) int {
+	if c.X < 0 || c.X >= t.W || c.Y < 0 || c.Y >= t.H {
+		panic(fmt.Sprintf("mesh: coord %+v out of range", c))
+	}
+	return c.Y*t.W + c.X
+}
+
+// Hops returns the minimal hop count between two tiles.
+func (t Topology) Hops(src, dst int) int {
+	a, b := t.CoordOf(src), t.CoordOf(dst)
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+// RouteXY returns the XY dimension-order route from src to dst as the
+// ordered list of intermediate+final tile ids (excluding src). An empty
+// route means src == dst.
+func (t Topology) RouteXY(src, dst int) []int {
+	a, b := t.CoordOf(src), t.CoordOf(dst)
+	route := make([]int, 0, abs(a.X-b.X)+abs(a.Y-b.Y))
+	for a.X != b.X {
+		if a.X < b.X {
+			a.X++
+		} else {
+			a.X--
+		}
+		route = append(route, t.IDOf(a))
+	}
+	for a.Y != b.Y {
+		if a.Y < b.Y {
+			a.Y++
+		} else {
+			a.Y--
+		}
+		route = append(route, t.IDOf(a))
+	}
+	return route
+}
+
+// AvgHops returns the average minimal hop count over all ordered pairs
+// of distinct tiles (useful for analytical cross-checks).
+func (t Topology) AvgHops() float64 {
+	n := t.Tiles()
+	total := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				total += t.Hops(s, d)
+			}
+		}
+	}
+	return float64(total) / float64(n*(n-1))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

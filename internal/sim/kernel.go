@@ -1,0 +1,139 @@
+// Package sim provides a deterministic, single-threaded, event-driven
+// simulation kernel used by every timed component in tilesim (routers,
+// caches, directories, cores).
+//
+// Time is measured in integer clock cycles of the global 4 GHz clock
+// (see internal/cmp for the system clock definition). Events scheduled
+// for the same cycle fire in FIFO order of scheduling, which makes every
+// simulation bit-reproducible for a fixed input.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in clock cycles.
+type Time uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type scheduledEvent struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-cycle events
+	fn  Event
+}
+
+type eventHeap []scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduledEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is the event queue and simulated clock. The zero value is not
+// ready to use; call NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// processed counts events executed since construction, for stats
+	// and runaway detection.
+	processed uint64
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.events)
+	return k
+}
+
+// Now returns the current simulated cycle.
+func (k *Kernel) Now() Time { return k.now }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Schedule runs fn after delay cycles (delay 0 means later this cycle,
+// after all currently queued same-cycle events).
+func (k *Kernel) Schedule(delay Time, fn Event) {
+	k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute cycle at. Scheduling in the past panics:
+// it is always a component bug, and silently reordering events would
+// destroy reproducibility.
+func (k *Kernel) ScheduleAt(at Time, fn Event) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (at=%d, now=%d)", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	k.seq++
+	heap.Push(&k.events, scheduledEvent{at: at, seq: k.seq, fn: fn})
+}
+
+// Step executes the single earliest event, advancing the clock to its
+// timestamp. It returns false if the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.events).(scheduledEvent)
+	k.now = ev.at
+	k.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or until stop returns true.
+// A nil stop runs to completion. Run returns the cycle at which it
+// stopped.
+func (k *Kernel) Run(stop func() bool) Time {
+	for {
+		if stop != nil && stop() {
+			return k.now
+		}
+		if !k.Step() {
+			return k.now
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline. Events beyond the
+// deadline remain queued; the clock is left at min(deadline, last event).
+func (k *Kernel) RunUntil(deadline Time) Time {
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline && len(k.events) > 0 {
+		// Clock does not jump past queued events.
+		return k.now
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return k.now
+}

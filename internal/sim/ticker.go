@@ -1,0 +1,45 @@
+package sim
+
+// Ticker is a convenience for components that want a periodic callback
+// while active, without paying for ticks when idle. A component arms the
+// ticker when it gains work and the ticker disarms itself when the
+// callback reports it has drained.
+type Ticker struct {
+	k      *Kernel
+	period Time
+	fn     func() bool // returns true while more work remains
+	armed  bool
+}
+
+// NewTicker creates a ticker that invokes fn every period cycles while
+// armed. period must be >= 1.
+func NewTicker(k *Kernel, period Time, fn func() bool) *Ticker {
+	if period == 0 {
+		panic("sim: ticker period must be >= 1")
+	}
+	return &Ticker{k: k, period: period, fn: fn}
+}
+
+// Arm starts (or keeps) the ticker running. The first callback fires one
+// period from now.
+func (t *Ticker) Arm() {
+	if t.armed {
+		return
+	}
+	t.armed = true
+	t.k.Schedule(t.period, t.tick)
+}
+
+// Armed reports whether the ticker is currently scheduled.
+func (t *Ticker) Armed() bool { return t.armed }
+
+func (t *Ticker) tick() {
+	if !t.armed {
+		return
+	}
+	if t.fn() {
+		t.k.Schedule(t.period, t.tick)
+	} else {
+		t.armed = false
+	}
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("reset counter = %d", c.Value())
+	}
+}
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Observe(x)
+	}
+	if m.N() != 8 {
+		t.Fatalf("n = %d", m.N())
+	}
+	if math.Abs(m.Value()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", m.Value())
+	}
+	if math.Abs(m.StdDev()-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", m.StdDev())
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Fatalf("min,max = %v,%v", m.Min(), m.Max())
+	}
+	if math.Abs(m.Sum()-40) > 1e-9 {
+		t.Fatalf("sum = %v, want 40", m.Sum())
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.Min() != 0 || m.Max() != 0 || m.Variance() != 0 {
+		t.Fatal("empty Mean should report zeros")
+	}
+}
+
+// Property: running mean matches direct computation.
+func TestMeanMatchesDirectProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var m Mean
+		sum := 0.0
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip degenerate inputs
+			}
+			m.Observe(x)
+			sum += x
+		}
+		if len(xs) > 0 {
+			want := sum / float64(len(xs))
+			scale := math.Max(1, math.Abs(want))
+			ok = math.Abs(m.Value()-want)/scale < 1e-6
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 4) != 2.5 {
+		t.Fatal("Ratio(10,4)")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio by zero must be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4, 16})
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean of empty should be 0")
+	}
+	// Non-positive values are skipped, not poisoning the result.
+	got = GeoMean([]float64{0, -3, 4, 4})
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean with skips = %v, want 4", got)
+	}
+}
+
+func TestArithMean(t *testing.T) {
+	if ArithMean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("arith mean")
+	}
+	if ArithMean(nil) != 0 {
+		t.Fatal("arith mean of empty should be 0")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(100, 1)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) - 0.5) // one sample per bucket
+	}
+	if h.N() != 100 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if p := h.Percentile(0.5); math.Abs(p-50) > 1.0 {
+		t.Fatalf("p50 = %v, want ~50", p)
+	}
+	if p := h.Percentile(0.99); math.Abs(p-99) > 1.0 {
+		t.Fatalf("p99 = %v, want ~99", p)
+	}
+	if p := h.Percentile(1.0); p < 99 {
+		t.Fatalf("p100 = %v, want >= 99", p)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(10, 1)
+	h.Observe(5)
+	h.Observe(1e9)
+	if h.Max() != 1e9 {
+		t.Fatalf("max = %v", h.Max())
+	}
+	// p100 reports the exact max despite bucket overflow.
+	if h.Percentile(1.0) != 1e9 {
+		t.Fatalf("p100 = %v, want 1e9", h.Percentile(1.0))
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := NewHistogram(4, 1)
+	h.Observe(-3)
+	if h.Percentile(1.0) > 1 {
+		t.Fatalf("negative sample should land in bucket 0")
+	}
+}
+
+func TestHistogramBadArgsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram args did not panic")
+		}
+	}()
+	NewHistogram(0, 1)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("app", "value")
+	tb.AddRow("fft", "1.00")
+	tb.AddRow("barnes-hut", "0.95")
+	out := tb.String()
+	if !strings.Contains(out, "app") || !strings.Contains(out, "barnes-hut") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Columns align: every line has the same prefix width before col 2.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1.00") {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRowf([]string{"%s", "%.2f"}, "x", 1.234)
+	csv := tb.CSV()
+	want := "a,b\nx,1.23\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("sorted keys = %v", keys)
+	}
+}

@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the first-order wire physics the paper summarizes
+// in Section 3.2: the RC delay of a repeatered global wire (Eq. 1), and
+// the derivation of the engineered design points of Tables 2-3 from wire
+// geometry. The published tables remain the authoritative catalog; the
+// model here regenerates their relative-latency trend from physics so the
+// design space *between* the published points can be explored (see
+// examples/wiredesign) and so unit tests can check the catalog's internal
+// consistency.
+
+// Tech65nm holds the 65 nm global-wire technology parameters used by the
+// model. Values are representative of 65 nm global metal (ITRS-class) and
+// calibrated so the B8X design point yields 0.40 ns/mm (8 cycles per 5 mm
+// link at 4 GHz), matching the catalog.
+type Tech struct {
+	// RPerMM is the resistance of a minimum-pitch global wire, ohm/mm.
+	RPerMM float64
+	// CGroundPerMM is the parallel-plate (ground) capacitance of a
+	// minimum-pitch wire, fF/mm. It grows with wire width.
+	CGroundPerMM float64
+	// CCouplePerMM is the coupling capacitance to neighbours at minimum
+	// spacing, fF/mm. It shrinks as spacing grows.
+	CCouplePerMM float64
+	// R0 and C0 are the output resistance (ohm) and input capacitance
+	// (fF) of a minimum-size repeater.
+	R0 float64
+	C0 float64
+	// PlaneDelayScale adjusts base delay per metal plane (thinner lower
+	// planes are slower); keyed by plane name.
+	PlaneDelayScale map[string]float64
+}
+
+// Tech65nm returns the calibrated 65 nm technology parameters.
+func Tech65nm() Tech {
+	return Tech{
+		RPerMM:       7800, // ohm/mm at 1x width (8X plane)
+		CGroundPerMM: 110,  // fF/mm component independent of spacing
+		CCouplePerMM: 90,   // fF/mm at 1x spacing
+		R0:           6000, // ohm, minimum inverter
+		C0:           1.0,  // fF, minimum inverter
+		PlaneDelayScale: map[string]float64{
+			"8X": 1.0,
+			"4X": 2.56, // thinner metal: higher R per mm
+		},
+	}
+}
+
+// Geometry describes one wire design point: width and spacing relative to
+// the minimum global pitch of its plane, the plane it is routed on, and
+// the repeater design (size relative to delay-optimal, spacing relative to
+// delay-optimal).
+type Geometry struct {
+	Plane          string  // "8X" or "4X"
+	RelWidth       float64 // >= 1
+	RelSpacing     float64 // >= 1
+	RepeaterSize   float64 // 1.0 = delay-optimal size
+	RepeaterSpacer float64 // 1.0 = delay-optimal spacing, >1 = sparser
+}
+
+// Validate reports whether the geometry is physically meaningful.
+func (g Geometry) Validate() error {
+	if g.RelWidth < 1 || g.RelSpacing < 1 {
+		return fmt.Errorf("wire: width/spacing below minimum pitch (w=%.2f s=%.2f)", g.RelWidth, g.RelSpacing)
+	}
+	if g.RepeaterSize <= 0 || g.RepeaterSpacer <= 0 {
+		return fmt.Errorf("wire: non-positive repeater parameters")
+	}
+	if g.Plane != "8X" && g.Plane != "4X" {
+		return fmt.Errorf("wire: unknown metal plane %q", g.Plane)
+	}
+	return nil
+}
+
+// RelArea returns the track area of the geometry relative to a
+// minimum-pitch wire on the same plane: (w + s) / 2, since a minimum
+// pitch wire occupies one width plus one spacing.
+func (g Geometry) RelArea() float64 {
+	return (g.RelWidth + g.RelSpacing) / 2
+}
+
+// rcPerMM returns the per-mm resistance (ohm) and capacitance (fF) of the
+// geometry under tech t.
+func (g Geometry) rcPerMM(t Tech) (r, c float64) {
+	scale := t.PlaneDelayScale[g.Plane]
+	if scale == 0 {
+		scale = 1
+	}
+	r = t.RPerMM * scale / g.RelWidth
+	// Ground capacitance grows modestly with width; coupling shrinks
+	// with spacing.
+	c = t.CGroundPerMM*(0.95+0.05*g.RelWidth) + t.CCouplePerMM/g.RelSpacing
+	return r, c
+}
+
+// SegmentDelay returns the Elmore delay (seconds) of one repeatered
+// segment of length lMM millimeters, per paper Eq. 1:
+//
+//	delay = Rgate*(Cdiff + Cwire + Cgate) + Rwire*(Cwire/2 + Cgate)
+//
+// with Rgate = R0/s, Cgate = Cdiff = C0*s for a repeater of size s.
+func (g Geometry) SegmentDelay(t Tech, lMM float64, repeaterSize float64) float64 {
+	r, c := g.rcPerMM(t)
+	rw := r * lMM         // ohm
+	cw := c * lMM * 1e-15 // F
+	rg := t.R0 / repeaterSize
+	cg := t.C0 * repeaterSize * 1e-15
+	return rg*(cg+cw+cg) + rw*(cw/2+cg)
+}
+
+// OptimalRepeaters returns the delay-optimal repeater size and spacing
+// (mm) for the geometry: the classical closed forms
+//
+//	l_opt = sqrt(2 R0 C0 / (Rw Cw)),  s_opt = sqrt(R0 Cw / (Rw C0))
+func (g Geometry) OptimalRepeaters(t Tech) (sizeX float64, spacingMM float64) {
+	r, c := g.rcPerMM(t) // ohm/mm, fF/mm
+	rw := r              // ohm/mm
+	cw := c * 1e-15      // F/mm
+	c0 := t.C0 * 1e-15
+	spacingMM = math.Sqrt(2 * t.R0 * c0 / (rw * cw))
+	sizeX = math.Sqrt(t.R0 * cw / (rw * c0))
+	return sizeX, spacingMM
+}
+
+// Delay returns the total delay (seconds) of a repeatered wire of length
+// lengthMM with the geometry's repeater design. RepeaterSize/Spacer scale
+// the delay-optimal design (the power-optimal methodology of Banerjee &
+// Mehrotra trades delay for power by shrinking/spreading repeaters).
+func (g Geometry) Delay(t Tech, lengthMM float64) float64 {
+	optSize, optSpacing := g.OptimalRepeaters(t)
+	size := optSize * g.RepeaterSize
+	seg := optSpacing * g.RepeaterSpacer
+	n := math.Max(1, math.Ceil(lengthMM/seg))
+	per := g.SegmentDelay(t, lengthMM/n, size)
+	return float64(n) * per
+}
+
+// DelayPerMM returns delay per millimeter for convenience.
+func (g Geometry) DelayPerMM(t Tech) float64 { return g.Delay(t, 1) }
+
+// SwitchingEnergyPerMM returns the dynamic energy (J/mm) of one full
+// transition on the wire, per paper Eq. 3 divided by f*alpha:
+//
+//	E = (s*(Cgate+Cdiff) + l*Cwire) * Vdd^2 per segment, summed per mm.
+func (g Geometry) SwitchingEnergyPerMM(t Tech, vdd float64) float64 {
+	_, c := g.rcPerMM(t)
+	optSize, optSpacing := g.OptimalRepeaters(t)
+	size := optSize * g.RepeaterSize
+	seg := optSpacing * g.RepeaterSpacer
+	repeatersPerMM := 1 / seg
+	cRepeater := 2 * t.C0 * size * 1e-15 // Cgate + Cdiff
+	cWire := c * 1e-15
+	return (repeatersPerMM*cRepeater + cWire) * vdd * vdd
+}
+
+// LeakagePowerPerMM returns the repeater leakage (W/mm) per paper Eq. 4,
+// with a per-size leakage constant calibrated at 65 nm.
+func (g Geometry) LeakagePowerPerMM(t Tech, vdd float64) float64 {
+	const iOffPerSize = 2.1e-6 // A per unit repeater size, 65 nm class
+	optSize, optSpacing := g.OptimalRepeaters(t)
+	size := optSize * g.RepeaterSize
+	seg := optSpacing * g.RepeaterSpacer
+	repeatersPerMM := 1 / seg
+	return vdd * iOffPerSize * size * repeatersPerMM
+}
+
+// DesignPoint returns a geometry approximating a cataloged wire kind, for
+// model-vs-catalog consistency checks and design-space exploration.
+func DesignPoint(k Kind) Geometry {
+	switch k {
+	case B8X:
+		return Geometry{Plane: "8X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 1, RepeaterSpacer: 1}
+	case B4X:
+		return Geometry{Plane: "4X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 1, RepeaterSpacer: 1}
+	case L8X:
+		// 4x area (w+s = 8 pitch units), biased toward spacing to cut
+		// coupling capacitance.
+		return Geometry{Plane: "8X", RelWidth: 3, RelSpacing: 5, RepeaterSize: 1, RepeaterSpacer: 1}
+	case PW4X:
+		// Same pitch as B4X with power-optimal (smaller, sparser)
+		// repeaters per the Banerjee-Mehrotra methodology.
+		return Geometry{Plane: "4X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 0.18, RepeaterSpacer: 4.2}
+	case VL3B:
+		return Geometry{Plane: "8X", RelWidth: 14, RelSpacing: 14, RepeaterSize: 1, RepeaterSpacer: 1}
+	case VL4B:
+		return Geometry{Plane: "8X", RelWidth: 10, RelSpacing: 10, RepeaterSize: 1, RepeaterSpacer: 1}
+	case VL5B:
+		return Geometry{Plane: "8X", RelWidth: 8, RelSpacing: 8, RepeaterSize: 1, RepeaterSpacer: 1}
+	}
+	panic(fmt.Sprintf("wire: no design point for %v", k))
+}
+
+// ModelRelLatency returns the RC-model relative latency of kind k versus
+// the B8X baseline, to compare against the published catalog.
+func ModelRelLatency(k Kind) float64 {
+	t := Tech65nm()
+	base := DesignPoint(B8X).DelayPerMM(t)
+	return DesignPoint(k).DelayPerMM(t) / base
+}

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelReproducesCatalogRelLatencies(t *testing.T) {
+	// The RC/repeater model must regenerate the published relative
+	// latencies of Tables 2-3 from geometry alone, within 12%.
+	for _, k := range Kinds() {
+		model := ModelRelLatency(k)
+		pub := Lookup(k).RelLatency
+		if rel := math.Abs(model-pub) / pub; rel > 0.12 {
+			t.Errorf("%v: model rel latency %.3f vs published %.3f (%.0f%% off)",
+				k, model, pub, rel*100)
+		}
+	}
+}
+
+func TestB8XAbsoluteDelayCalibration(t *testing.T) {
+	// 5 mm B8X link must be ~2.0 ns (8 cycles at 4 GHz).
+	tech := Tech65nm()
+	d := DesignPoint(B8X).Delay(tech, 5)
+	if math.Abs(d-2.0e-9)/2.0e-9 > 0.05 {
+		t.Fatalf("B8X 5mm delay %.3g s, want 2.0 ns +-5%%", d)
+	}
+}
+
+func TestDelayLinearInLengthWithRepeaters(t *testing.T) {
+	// Repeaters break the quadratic dependence: doubling the length
+	// should roughly double the delay (within repeater quantization).
+	tech := Tech65nm()
+	g := DesignPoint(B8X)
+	d5 := g.Delay(tech, 5)
+	d10 := g.Delay(tech, 10)
+	if ratio := d10 / d5; ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("delay(10mm)/delay(5mm) = %.2f, want ~2 (linear)", ratio)
+	}
+}
+
+func TestUnrepeatedWireIsQuadratic(t *testing.T) {
+	// A single segment (no intermediate repeaters) grows superlinearly.
+	tech := Tech65nm()
+	g := DesignPoint(B8X)
+	d1 := g.SegmentDelay(tech, 1, 30)
+	d4 := g.SegmentDelay(tech, 4, 30)
+	if d4 < 3.0*d1 {
+		t.Fatalf("unrepeated 4mm/1mm delay ratio %.2f, expected superlinear (>3)", d4/d1)
+	}
+}
+
+func TestWiderWiresAreFaster(t *testing.T) {
+	tech := Tech65nm()
+	prev := math.Inf(1)
+	for _, w := range []float64{1, 2, 4, 8, 14} {
+		g := Geometry{Plane: "8X", RelWidth: w, RelSpacing: w, RepeaterSize: 1, RepeaterSpacer: 1}
+		d := g.DelayPerMM(tech)
+		if d >= prev {
+			t.Fatalf("width %.0f: delay %.3g not below previous %.3g", w, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestPowerOptimalRepeatersSavePower(t *testing.T) {
+	tech := Tech65nm()
+	opt := Geometry{Plane: "4X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 1, RepeaterSpacer: 1}
+	pw := DesignPoint(PW4X)
+	const vdd = 1.1
+	if pw.SwitchingEnergyPerMM(tech, vdd) >= opt.SwitchingEnergyPerMM(tech, vdd) {
+		t.Error("PW repeater design does not reduce switching energy")
+	}
+	if pw.LeakagePowerPerMM(tech, vdd) >= opt.LeakagePowerPerMM(tech, vdd) {
+		t.Error("PW repeater design does not reduce leakage")
+	}
+	if pw.Delay(tech, 5) <= opt.Delay(tech, 5) {
+		t.Error("PW design should be slower than delay-optimal: no free lunch")
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	good := DesignPoint(L8X)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := []Geometry{
+		{Plane: "8X", RelWidth: 0.5, RelSpacing: 1, RepeaterSize: 1, RepeaterSpacer: 1},
+		{Plane: "8X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 0, RepeaterSpacer: 1},
+		{Plane: "2X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 1, RepeaterSpacer: 1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad geometry %d accepted", i)
+		}
+	}
+}
+
+func TestOptimalRepeatersMinimizeDelay(t *testing.T) {
+	// Perturbing the repeater design away from optimal in either
+	// direction must not reduce delay (first-order optimality).
+	tech := Tech65nm()
+	base := Geometry{Plane: "8X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 1, RepeaterSpacer: 1}
+	d0 := base.Delay(tech, 20)
+	for _, pert := range []Geometry{
+		{Plane: "8X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 0.5, RepeaterSpacer: 1},
+		{Plane: "8X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 2.0, RepeaterSpacer: 1},
+		{Plane: "8X", RelWidth: 1, RelSpacing: 1, RepeaterSize: 1, RepeaterSpacer: 3},
+	} {
+		if d := pert.Delay(tech, 20); d < d0*0.999 {
+			t.Errorf("perturbed design %+v beats optimal: %.3g < %.3g", pert, d, d0)
+		}
+	}
+}
+
+// Property: delay is monotonically non-increasing in width for any
+// reasonable spacing, and non-increasing in spacing for any width.
+func TestDelayMonotoneProperty(t *testing.T) {
+	tech := Tech65nm()
+	f := func(wRaw, sRaw uint8) bool {
+		w := 1 + float64(wRaw%14)
+		s := 1 + float64(sRaw%14)
+		g1 := Geometry{Plane: "8X", RelWidth: w, RelSpacing: s, RepeaterSize: 1, RepeaterSpacer: 1}
+		g2 := Geometry{Plane: "8X", RelWidth: w + 1, RelSpacing: s, RepeaterSize: 1, RepeaterSpacer: 1}
+		g3 := Geometry{Plane: "8X", RelWidth: w, RelSpacing: s + 1, RepeaterSize: 1, RepeaterSpacer: 1}
+		d1 := g1.DelayPerMM(tech)
+		return g2.DelayPerMM(tech) <= d1*1.0001 && g3.DelayPerMM(tech) <= d1*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDelayModel(b *testing.B) {
+	tech := Tech65nm()
+	g := DesignPoint(VL4B)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Delay(tech, 5)
+	}
+}
