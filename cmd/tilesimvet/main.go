@@ -1,0 +1,64 @@
+// Command tilesimvet runs tilesim's simulator-specific static analyses
+// over the module: determinism (no map-order or wall-clock dependence,
+// no global randomness), unit safety (no mixed-unit arithmetic), panic
+// hygiene (prefixed constant messages) and enum-switch exhaustiveness.
+//
+// Usage:
+//
+//	go run ./cmd/tilesimvet ./...
+//	go run ./cmd/tilesimvet -json ./internal/mesh
+//
+// The exit status is 0 when the analyzed packages are clean, 1 when
+// findings were reported, and 2 on a driver error (unparsable package,
+// build failure, ...). See DESIGN.md "Determinism & static analysis"
+// for the rule catalog and the //tilesim:ordered and //tilesim:unit
+// annotations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tilesim/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tilesimvet [-json] <packages>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := analysis.Run(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tilesimvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "tilesimvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,212 @@
+// Package analysis implements tilesimvet, the simulator-specific static
+// checks that keep tilesim's cycle-level results bit-for-bit
+// reproducible and its failure modes diagnosable:
+//
+//   - determinism: no map iteration in simulator packages (Go randomizes
+//     range-over-map order) unless explicitly annotated as order-safe,
+//     no wall-clock time, and no global/unseeded math/rand outside
+//     cmd/ and test files.
+//   - unit safety: additive arithmetic and comparisons must not mix
+//     values of distinct physical units (cycles, joules, flits,
+//     seconds). Unit types are declared with a //tilesim:unit
+//     annotation on their type declaration.
+//   - panic hygiene: every panic in internal/ packages must carry a
+//     constant "<pkg>: ..."-prefixed message so a crash names its
+//     subsystem.
+//   - exhaustiveness: a switch over an enum-like named type must cover
+//     every declared constant or carry a default clause, so adding an
+//     enum value cannot silently fall through a protocol dispatch.
+//
+// The driver is stdlib-only: packages are resolved and compiled by the
+// go tool (go list -export), parsed with go/parser, and type-checked
+// with go/types against the toolchain's export data.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Annotations recognized in source comments.
+const (
+	// OrderedAnnotation marks a range-over-map statement whose
+	// iteration order cannot affect simulation results (the body sorts
+	// the keys afterwards, or is provably order-independent).
+	OrderedAnnotation = "tilesim:ordered"
+	// UnitAnnotation declares a named type as carrying a physical unit:
+	//
+	//	//tilesim:unit cycles
+	//	type Time uint64
+	UnitAnnotation = "tilesim:unit"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the file:line:col style of go vet.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// pass bundles what one analyzer run over one package needs.
+type pass struct {
+	pkg   *Package
+	fset  *token.FileSet
+	units map[string]string // "pkgpath.TypeName" -> unit name
+	// annotated maps file -> set of lines carrying //tilesim:ordered.
+	annotated map[*ast.File]map[int]bool
+
+	report func(Diagnostic)
+}
+
+func (p *pass) reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	position := p.fset.Position(pos)
+	p.report(Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// orderedAt reports whether an //tilesim:ordered annotation covers the
+// given position: on the same line (trailing comment) or the line
+// immediately above the statement.
+func (p *pass) orderedAt(f *ast.File, pos token.Pos) bool {
+	lines := p.annotated[f]
+	if lines == nil {
+		return false
+	}
+	line := p.fset.Position(pos).Line
+	return lines[line] || lines[line-1]
+}
+
+// inInternal reports whether the package is part of the simulator core
+// (under tilesim's internal/ tree), where the strictest rules apply.
+func (p *pass) inInternal() bool {
+	return strings.Contains(p.pkg.Path, "/internal/")
+}
+
+// inCmd reports whether the package is a command-line entry point,
+// where wall-clock time and ad-hoc randomness are acceptable.
+func (p *pass) inCmd() bool {
+	return strings.Contains(p.pkg.Path, "/cmd/")
+}
+
+// Run loads the packages matched by patterns from dir and applies every
+// analyzer, returning the findings sorted by position.
+func Run(dir string, patterns []string) ([]Diagnostic, error) {
+	pkgs, fset, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// First pass over every loaded package: collect the unit-type
+	// registry, so cross-package unit arithmetic resolves no matter
+	// which package declares the type.
+	units := make(map[string]string)
+	for _, pkg := range pkgs {
+		collectUnits(pkg, units)
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		p := &pass{
+			pkg:       pkg,
+			fset:      fset,
+			units:     units,
+			annotated: collectAnnotations(fset, pkg),
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		checkDeterminism(p)
+		checkUnits(p)
+		checkPanics(p)
+		checkExhaustive(p)
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// collectAnnotations indexes the lines of each file that carry an
+// //tilesim:ordered annotation.
+func collectAnnotations(fset *token.FileSet, pkg *Package) map[*ast.File]map[int]bool {
+	out := make(map[*ast.File]map[int]bool)
+	for _, f := range pkg.Files {
+		lines := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, OrderedAnnotation) {
+					lines[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		out[f] = lines
+	}
+	return out
+}
+
+// collectUnits records every //tilesim:unit-annotated type declaration
+// of the package into the registry, keyed "pkgpath.TypeName".
+func collectUnits(pkg *Package, units map[string]string) {
+	record := func(doc *ast.CommentGroup, name string) {
+		if doc == nil {
+			return
+		}
+		for _, c := range doc.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if rest, ok := strings.CutPrefix(text, UnitAnnotation); ok {
+				unit := strings.TrimSpace(rest)
+				if unit == "" {
+					unit = name
+				}
+				units[pkg.Path+"."+name] = unit
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// The annotation may sit on the TypeSpec (grouped
+				// declarations) or on the GenDecl (single type).
+				record(ts.Doc, ts.Name.Name)
+				if len(gd.Specs) == 1 {
+					record(gd.Doc, ts.Name.Name)
+				}
+			}
+		}
+	}
+}

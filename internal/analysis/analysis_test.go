@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runFixture loads and analyzes one corpus package under testdata/src.
+// Fixture directories are invisible to ./... wildcards (the go tool
+// skips testdata), but resolve fine as explicit relative paths.
+func runFixture(t *testing.T, name string) []Diagnostic {
+	t.Helper()
+	diags, err := Run(".", []string{"./testdata/src/" + name})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", name, err)
+	}
+	return diags
+}
+
+func TestFixtureFindings(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer string
+		want     int
+	}{
+		{"badmaprange", "determinism", 1},
+		{"badtime", "determinism", 2},
+		{"badrand", "determinism", 1},
+		{"badpanic", "panics", 3},
+		{"badunits", "units", 2},
+		{"badswitch", "exhaustive", 1},
+	}
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			diags := runFixture(t, c.fixture)
+			if len(diags) != c.want {
+				t.Fatalf("%s: got %d findings, want %d:\n%s",
+					c.fixture, len(diags), c.want, render(diags))
+			}
+			for _, d := range diags {
+				if d.Analyzer != c.analyzer {
+					t.Errorf("%s: finding from analyzer %q, want %q: %s",
+						c.fixture, d.Analyzer, c.analyzer, d)
+				}
+				if d.File == "" || d.Line == 0 {
+					t.Errorf("%s: finding without a position: %+v", c.fixture, d)
+				}
+				if !strings.Contains(d.File, c.fixture) {
+					t.Errorf("%s: finding in unexpected file %s", c.fixture, d.File)
+				}
+			}
+		})
+	}
+}
+
+// TestFixtureFindingsAnchored pins each fixture's findings to the lines
+// marked "want:" in its source, so the analyzers cannot drift to
+// flagging the wrong statements while keeping the right counts.
+func TestFixtureFindingsAnchored(t *testing.T) {
+	cases := []struct {
+		fixture string
+		lines   []int
+	}{
+		{"badmaprange", []int{9}},
+		{"badtime", []int{9, 14}},
+		{"badrand", []int{10}},
+		{"badpanic", []int{11, 14, 17}},
+		{"badunits", []int{18, 23}},
+		{"badswitch", []int{18}},
+	}
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			diags := runFixture(t, c.fixture)
+			got := make(map[int]bool)
+			for _, d := range diags {
+				got[d.Line] = true
+			}
+			for _, line := range c.lines {
+				if !got[line] {
+					t.Errorf("%s: no finding on line %d:\n%s", c.fixture, line, render(diags))
+				}
+			}
+		})
+	}
+}
+
+func TestCleanFixture(t *testing.T) {
+	if diags := runFixture(t, "clean"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced findings:\n%s", render(diags))
+	}
+}
+
+// TestRepoIsClean is the gate the CI tilesimvet step enforces: the
+// whole module must analyze without findings.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := Run("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Run(./...): %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("module has tilesimvet findings:\n%s", render(diags))
+	}
+}
+
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{
+		File:     "internal/mesh/network.go",
+		Line:     42,
+		Col:      7,
+		Analyzer: "determinism",
+		Message:  "range over map",
+	}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"file", "line", "col", "analyzer", "message"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("JSON output missing %q: %s", key, raw)
+		}
+	}
+	if _, ok := decoded["Pos"]; ok {
+		t.Errorf("JSON output leaks the token.Position field: %s", raw)
+	}
+}
+
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

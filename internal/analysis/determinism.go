@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkDeterminism flags the three classic sources of silent
+// nondeterminism in a cycle-level simulator:
+//
+//  1. range over a map in a simulator-core (internal/) package: Go
+//     randomizes map iteration order per run, so any map-order-dependent
+//     side effect makes two identically-seeded runs diverge. A statement
+//     may be annotated //tilesim:ordered when its body is order-safe
+//     (e.g. it only collects keys that are sorted before use, as
+//     stats.SortedKeys does).
+//  2. wall-clock time (time.Now, time.Since, time.Until) outside cmd/:
+//     simulated time must come from the sim.Kernel clock.
+//  3. global math/rand functions (rand.Intn, rand.Float64, ...) outside
+//     cmd/: the global source is shared, seedable from anywhere, and in
+//     modern Go auto-seeded per process; simulator randomness must flow
+//     from an explicit rand.New(rand.NewSource(seed)).
+func checkDeterminism(p *pass) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				p.checkMapRange(f, n)
+			case *ast.SelectorExpr:
+				p.checkClockAndRand(n)
+			}
+			return true
+		})
+	}
+}
+
+func (p *pass) checkMapRange(f *ast.File, n *ast.RangeStmt) {
+	if !p.inInternal() {
+		return
+	}
+	tv, ok := p.pkg.Info.Types[n.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if p.orderedAt(f, n.Pos()) {
+		return
+	}
+	p.reportf("determinism", n.Pos(),
+		"range over map %s: iteration order is randomized per run; iterate sorted keys, use a slice, or annotate //%s if order-safe",
+		types.TypeString(tv.Type, types.RelativeTo(p.pkg.Pkg)), OrderedAnnotation)
+}
+
+// forbiddenClockFuncs are the wall-clock entry points of package time.
+var forbiddenClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// globalRandFuncs are the package-level math/rand functions that draw
+// from the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+func (p *pass) checkClockAndRand(sel *ast.SelectorExpr) {
+	if p.inCmd() {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := p.pkg.Info.Uses[ident]
+	if !ok {
+		return
+	}
+	pkgName, ok := obj.(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		if forbiddenClockFuncs[sel.Sel.Name] {
+			p.reportf("determinism", sel.Pos(),
+				"time.%s: wall-clock time in a simulator package; use the sim.Kernel clock (cmd/ and _test.go files are exempt)",
+				sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[sel.Sel.Name] {
+			p.reportf("determinism", sel.Pos(),
+				"rand.%s draws from the global source; use an explicit rand.New(rand.NewSource(seed)) so runs are reproducible",
+				sel.Sel.Name)
+		}
+	}
+}

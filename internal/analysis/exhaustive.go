@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkExhaustive flags switches over enum-like named types that
+// neither cover every declared constant nor carry a default clause.
+// Protocol dispatch in a simulator is exactly where a newly added
+// message type or cache state must not silently fall through: either
+// the switch handles every value, or its default makes the omission
+// loud (the codebase convention is a default that panics).
+//
+// An enum-like type is a defined type with integer underlying type that
+// has at least two package-level constants declared in its defining
+// package. Sentinel count constants (numTypes, NumClasses, ...) whose
+// name begins with "num" are not required values.
+func checkExhaustive(p *pass) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := p.pkg.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsInteger == 0 {
+				return true
+			}
+			constants := enumConstants(named)
+			if len(constants) < 2 {
+				return true
+			}
+
+			covered := make(map[string]bool)
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					covered[constName(p, e)] = true
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, c := range constants {
+				if !covered[c] {
+					missing = append(missing, c)
+				}
+			}
+			if len(missing) > 0 {
+				p.reportf("exhaustive", sw.Pos(),
+					"switch over %s misses %s and has no default; cover every value or add a default that panics",
+					named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// enumConstants returns the names of the package-level constants of the
+// named type, declared in its defining package, excluding num-prefixed
+// sentinels. Sorted for stable diagnostics.
+func enumConstants(named *types.Named) []string {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil // universe types (error, ...) are not enums
+	}
+	var out []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(strings.ToLower(name), "num") {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// constName resolves a case expression to the declared constant name it
+// references ("" for non-identifier cases, which then never count as
+// covering a constant).
+func constName(p *pass, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj, ok := p.pkg.Info.Uses[e]; ok {
+			if _, isConst := obj.(*types.Const); isConst {
+				return obj.Name()
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := p.pkg.Info.Uses[e.Sel]; ok {
+			if _, isConst := obj.(*types.Const); isConst {
+				return obj.Name()
+			}
+		}
+	}
+	return ""
+}

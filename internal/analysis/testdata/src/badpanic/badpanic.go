@@ -1,0 +1,19 @@
+// Package badpanic is a tilesimvet fixture: its panics do not carry the
+// "badpanic: "-prefixed constant message the hygiene rule requires, so a
+// crash would not name its subsystem.
+package badpanic
+
+import "fmt"
+
+// Check panics on out-of-range values with unprefixed messages.
+func Check(v int) {
+	if v < 0 {
+		panic("negative value") // want: panics finding here (no prefix)
+	}
+	if v > 10 {
+		panic(fmt.Sprintf("too big: %d", v)) // want: panics finding here (no prefix)
+	}
+	if v == 7 {
+		panic(v) // want: panics finding here (non-constant message)
+	}
+}

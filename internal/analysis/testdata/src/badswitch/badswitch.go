@@ -1,0 +1,25 @@
+// Package badswitch is a tilesimvet fixture: it switches over an
+// enum-like named type without covering every constant and without a
+// default clause, so adding an enum value would silently fall through.
+package badswitch
+
+// State is a three-value enum.
+type State int
+
+// The states.
+const (
+	Idle State = iota
+	Busy
+	Done
+)
+
+// Name maps a state to text but forgets the Done case.
+func Name(s State) string {
+	switch s { // want: exhaustive finding here (missing Done)
+	case Idle:
+		return "idle"
+	case Busy:
+		return "busy"
+	}
+	return "?"
+}

@@ -1,0 +1,30 @@
+// Package badunits is a tilesimvet fixture: it adds and compares values
+// of two distinct //tilesim:unit types after laundering them through
+// float64 conversions, which the units analyzer must still catch.
+package badunits
+
+// Apples is a count of apples.
+//
+//tilesim:unit apples
+type Apples float64
+
+// Oranges is a count of oranges.
+//
+//tilesim:unit oranges
+type Oranges float64
+
+// Mix adds apples to oranges.
+func Mix(a Apples, o Oranges) float64 {
+	return float64(a) + float64(o) // want: units finding here
+}
+
+// More compares apples against oranges.
+func More(a Apples, o Oranges) bool {
+	return float64(a) > float64(o) // want: units finding here
+}
+
+// Rate divides apples by oranges: ratios legitimately combine units, so
+// this must NOT be flagged.
+func Rate(a Apples, o Oranges) float64 {
+	return float64(a) / float64(o)
+}

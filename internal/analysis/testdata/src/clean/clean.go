@@ -1,0 +1,52 @@
+// Package clean is the tilesimvet negative control: it exercises every
+// rule's escape hatch — an annotated order-independent map range, a
+// properly prefixed panic, an exhaustive switch with a panicking
+// default, and unit arithmetic that stays within one unit — and must
+// produce zero findings.
+package clean
+
+import "fmt"
+
+// Widgets is a unit-typed quantity.
+//
+//tilesim:unit widgets
+type Widgets float64
+
+// Mode is a small enum with a sentinel that exhaustiveness must ignore.
+type Mode int
+
+// The modes.
+const (
+	Off Mode = iota
+	On
+
+	numModes
+)
+
+// Describe covers every mode and panics (prefixed) on corruption.
+func Describe(m Mode) string {
+	switch m {
+	case Off:
+		return "off"
+	case On:
+		return "on"
+	default:
+		panic(fmt.Sprintf("clean: unknown mode %d", int(m)))
+	}
+}
+
+// Total sums map values; the annotation records that summation is
+// order-independent.
+func Total(counts map[string]Widgets) Widgets {
+	var t Widgets
+	for _, w := range counts { //tilesim:ordered — summation is order-independent
+		t += w
+	}
+	return t
+}
+
+// Scale multiplies within one unit and by dimensionless constants,
+// which the units analyzer must accept.
+func Scale(w Widgets) float64 {
+	return 2 * float64(w) / float64(numModes)
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkUnits flags additive arithmetic and comparisons that mix values
+// of two distinct declared physical units. Go's type system already
+// rejects mixed-type arithmetic on defined types, but the protection
+// evaporates the moment a value is converted to a raw float64 or int —
+// exactly what energy/latency bookkeeping code does constantly. This
+// analyzer tracks units *through* conversions to basic types, so
+//
+//	float64(cycles) + float64(joules)   // flagged: cycles vs joules
+//	float64(cycles) - float64(warmup)   // fine: both cycles
+//	float64(cycles) * perCycleJ         // fine: multiplication combines units
+//
+// Multiplication and division are exempt: they legitimately derive new
+// units (energy = power x time). Addition, subtraction and ordered
+// comparison of different units are always dimensional errors.
+func checkUnits(p *pass) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.ADD, token.SUB,
+				token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			left := p.unitOf(be.X)
+			right := p.unitOf(be.Y)
+			if left != "" && right != "" && left != right {
+				p.reportf("units", be.OpPos,
+					"%s mixes units %s and %s; convert explicitly through the right physical relation",
+					be.Op, left, right)
+			}
+			return true
+		})
+	}
+}
+
+// unitOf resolves the physical unit an expression carries, following
+// parentheses, unary +/- and conversions. A conversion to a unit type
+// imposes that unit; a conversion to a plain basic type (float64, int,
+// uint64, ...) is transparent and propagates the operand's unit.
+func (p *pass) unitOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return p.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return p.unitOf(e.X)
+		}
+	case *ast.CallExpr:
+		// Conversion? The called "function" is then a type expression.
+		if len(e.Args) == 1 {
+			if tv, ok := p.pkg.Info.Types[e.Fun]; ok && tv.IsType() {
+				if u := p.unitOfType(tv.Type); u != "" {
+					return u
+				}
+				if _, basic := tv.Type.Underlying().(*types.Basic); basic {
+					return p.unitOf(e.Args[0])
+				}
+				return ""
+			}
+		}
+	}
+	if tv, ok := p.pkg.Info.Types[e]; ok {
+		// Untyped constants are dimensionless scalars by definition.
+		if tv.Value != nil {
+			return ""
+		}
+		return p.unitOfType(tv.Type)
+	}
+	return ""
+}
+
+// unitOfType returns the declared unit of a named type, or "".
+func (p *pass) unitOfType(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return p.units[obj.Pkg().Path()+"."+obj.Name()]
+}

@@ -132,7 +132,7 @@ type Result struct {
 	// Link is the inter-router link energy (Figure 6 bottom subject).
 	Link energy.LinkReport
 	// InterconnectJ is links + routers (Figure 7 input).
-	InterconnectJ float64
+	InterconnectJ energy.Joules
 	// ComprEvents counts compression-hardware activations.
 	ComprEvents uint64
 	// Table1Scheme is the hardware-cost row for Figure 7 ("" if none).

@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 
 	"tilesim/internal/cache"
 	"tilesim/internal/noc"
@@ -98,10 +99,22 @@ func (h *HomeController) release(block uint64, e *dirEntry) {
 	}
 }
 
+// sortedBlocks returns the tracked block addresses in ascending order,
+// so every walk of the directory is deterministic regardless of map
+// iteration order.
+func (h *HomeController) sortedBlocks() []uint64 {
+	blocks := make([]uint64, 0, len(h.dir))
+	for b := range h.dir { //tilesim:ordered — keys are sorted below
+		blocks = append(blocks, b)
+	}
+	slices.Sort(blocks)
+	return blocks
+}
+
 func (h *HomeController) busyCount() int {
 	n := 0
-	for _, e := range h.dir {
-		if e.busy {
+	for _, b := range h.sortedBlocks() {
+		if h.dir[b].busy {
 			n++
 		}
 	}
@@ -154,6 +167,8 @@ func (h *HomeController) handleRequest(m *noc.Message, block uint64) {
 		h.handleGetX(m, block, e)
 	case noc.Upgrade:
 		h.handleUpgrade(m, block, e)
+	default:
+		panic(fmt.Sprintf("coherence: home %d request dispatch got %v", h.id, m.Type))
 	}
 }
 
@@ -518,11 +533,5 @@ type DirSummary struct {
 
 // Summary returns the directory occupancy.
 func (h *HomeController) Summary() DirSummary {
-	s := DirSummary{TrackedBlocks: len(h.dir)}
-	for _, e := range h.dir {
-		if e.busy {
-			s.BusyBlocks++
-		}
-	}
-	return s
+	return DirSummary{TrackedBlocks: len(h.dir), BusyBlocks: h.busyCount()}
 }

@@ -72,18 +72,17 @@ func (l *L1Controller) access(addr uint64, isWrite bool, done func()) {
 		switch line.State {
 		case cache.Modified:
 			done()
-			return
 		case cache.Exclusive:
 			line.State = cache.Modified // silent E->M
 			done()
-			return
 		case cache.Shared:
 			l.StoreMisses.Inc()
 			l.Upgrades.Inc()
 			l.startMiss(block, noc.Upgrade, done)
-			return
+		default:
+			panic("coherence: L1 access to invalid-but-present line")
 		}
-		panic("coherence: L1 access to invalid-but-present line")
+		return
 	}
 	if isWrite {
 		l.StoreMisses.Inc()

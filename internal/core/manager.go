@@ -116,8 +116,9 @@ func streamOf(t noc.Type) compress.Stream {
 		return compress.RequestStream
 	case noc.Inv, noc.FwdGetS, noc.FwdGetX:
 		return compress.CommandStream
+	default:
+		panic(fmt.Sprintf("core: %v has no compression stream", t))
 	}
-	panic(fmt.Sprintf("core: %v has no compression stream", t))
 }
 
 // Send sizes, compresses and routes one protocol message. It is the

@@ -23,8 +23,17 @@ import (
 	"fmt"
 
 	"tilesim/internal/cacti"
+	"tilesim/internal/noc"
 	"tilesim/internal/wire"
 )
+
+// Joules is an amount of energy. Keeping energy in its own defined type
+// (rather than a bare float64) lets the compiler and tilesimvet's units
+// analyzer catch dimensionally bogus arithmetic such as adding an
+// energy to a cycle count.
+//
+//tilesim:unit joules
+type Joules float64
 
 // Alpha is the average switching factor of message payload bits: each
 // bit toggles with probability 1/2 between consecutive transfers.
@@ -53,8 +62,8 @@ const (
 // mesh.Observer. Static contributions are integrated at reporting time
 // from the run length.
 type Meter struct {
-	linkDynJ    float64
-	routerDynJ  float64
+	linkDynJ    Joules
+	routerDynJ  Joules
 	comprEvents uint64
 
 	// Standing resources for static integration.
@@ -77,14 +86,14 @@ func (m *Meter) AddStaticWires(kind wire.Kind, lengthM float64, wires int) {
 
 // LinkTraversal implements mesh.Observer: msgBytes of payload cross one
 // link of the given kind.
-func (m *Meter) LinkTraversal(kind wire.Kind, lengthM float64, msgBytes, flits int) {
+func (m *Meter) LinkTraversal(kind wire.Kind, lengthM float64, msgBytes int, flits noc.FlitCount) {
 	bits := float64(msgBytes * 8)
-	m.linkDynJ += bits * Alpha * wire.DynamicEnergyPerTransition(kind, lengthM)
+	m.linkDynJ += Joules(bits * Alpha * wire.DynamicEnergyPerTransition(kind, lengthM))
 }
 
 // RouterHop implements mesh.Observer.
-func (m *Meter) RouterHop(msgBytes, flits int) {
-	m.routerDynJ += float64(msgBytes)*RouterDynPerByteJ + float64(flits)*RouterDynPerFlitJ
+func (m *Meter) RouterHop(msgBytes int, flits noc.FlitCount) {
+	m.routerDynJ += Joules(float64(msgBytes)*RouterDynPerByteJ + float64(flits)*RouterDynPerFlitJ)
 }
 
 // CompressionEvent records one address compression/decompression (one
@@ -97,8 +106,8 @@ func (m *Meter) ComprEvents() uint64 { return m.comprEvents }
 // DynSnapshot captures the monotone dynamic-energy accumulators, so a
 // measurement window can subtract a warmup prefix.
 type DynSnapshot struct {
-	LinkDynJ    float64
-	RouterDynJ  float64
+	LinkDynJ    Joules
+	RouterDynJ  Joules
 	ComprEvents uint64
 }
 
@@ -112,53 +121,56 @@ func (m *Meter) Snapshot() DynSnapshot {
 func (m *Meter) LinkSince(s DynSnapshot, cycles uint64) LinkReport {
 	return LinkReport{
 		DynJ:    m.linkDynJ - s.LinkDynJ,
-		StaticJ: m.staticLinkW * m.Seconds(cycles),
+		StaticJ: Joules(m.staticLinkW * float64(m.Seconds(cycles))),
 	}
 }
 
 // InterconnectSince returns links+routers energy over a window.
-func (m *Meter) InterconnectSince(s DynSnapshot, cycles uint64) float64 {
+func (m *Meter) InterconnectSince(s DynSnapshot, cycles uint64) Joules {
 	t := m.Seconds(cycles)
 	return m.LinkSince(s, cycles).TotalJ() + (m.routerDynJ - s.RouterDynJ) +
-		RouterStaticWEach*float64(m.routers)*t
+		Joules(RouterStaticWEach*float64(m.routers)*float64(t))
 }
 
 // Seconds converts a cycle count to seconds at the system clock.
-func (m *Meter) Seconds(cycles uint64) float64 { return float64(cycles) / m.clockHz }
+func (m *Meter) Seconds(cycles uint64) wire.Seconds {
+	return wire.Seconds(float64(cycles) / m.clockHz)
+}
 
 // LinkReport is the energy of the inter-router links only (the subject
 // of Figure 6 bottom).
 type LinkReport struct {
-	DynJ    float64
-	StaticJ float64
+	DynJ    Joules
+	StaticJ Joules
 }
 
 // TotalJ returns dynamic plus static link energy.
-func (r LinkReport) TotalJ() float64 { return r.DynJ + r.StaticJ }
+func (r LinkReport) TotalJ() Joules { return r.DynJ + r.StaticJ }
 
 // Link returns the link energy over a run of the given cycles.
 func (m *Meter) Link(cycles uint64) LinkReport {
 	return LinkReport{
 		DynJ:    m.linkDynJ,
-		StaticJ: m.staticLinkW * m.Seconds(cycles),
+		StaticJ: Joules(m.staticLinkW * float64(m.Seconds(cycles))),
 	}
 }
 
 // InterconnectJ returns links plus routers energy over the run: the
 // "interconnect" whose chip share anchors the full-CMP model.
-func (m *Meter) InterconnectJ(cycles uint64) float64 {
+func (m *Meter) InterconnectJ(cycles uint64) Joules {
 	t := m.Seconds(cycles)
-	return m.Link(cycles).TotalJ() + m.routerDynJ + RouterStaticWEach*float64(m.routers)*t
+	return m.Link(cycles).TotalJ() + m.routerDynJ +
+		Joules(RouterStaticWEach*float64(m.routers)*float64(t))
 }
 
 // RouterDynJ returns the accumulated router dynamic energy.
-func (m *Meter) RouterDynJ() float64 { return m.routerDynJ }
+func (m *Meter) RouterDynJ() Joules { return m.routerDynJ }
 
 // ED2P returns the energy-delay^2 product in J*s^2 for an energy and a
 // run length in cycles.
-func ED2P(energyJ float64, cycles uint64) float64 {
+func ED2P(energyJ Joules, cycles uint64) float64 {
 	t := float64(cycles) / wire.ClockHz
-	return energyJ * t * t
+	return float64(energyJ) * t * t
 }
 
 // FullCMPModel converts a run's interconnect energy and duration into
@@ -175,7 +187,7 @@ type FullCMPModel struct {
 
 // Calibrate pins the interconnect at icShare of chip energy for the
 // baseline run, backing out the rest-of-chip power.
-func Calibrate(baselineICJ float64, baselineCycles uint64, icShare float64, tiles int) FullCMPModel {
+func Calibrate(baselineICJ Joules, baselineCycles uint64, icShare float64, tiles int) FullCMPModel {
 	if icShare <= 0 || icShare >= 1 {
 		panic(fmt.Sprintf("energy: interconnect share %v out of (0,1)", icShare))
 	}
@@ -183,7 +195,7 @@ func Calibrate(baselineICJ float64, baselineCycles uint64, icShare float64, tile
 		panic("energy: calibration needs a positive baseline")
 	}
 	t := float64(baselineCycles) / wire.ClockHz
-	restJ := baselineICJ * (1 - icShare) / icShare
+	restJ := float64(baselineICJ) * (1 - icShare) / icShare
 	return FullCMPModel{ICShare: icShare, RestW: restJ / t, Tiles: tiles}
 }
 
@@ -194,9 +206,9 @@ func (f FullCMPModel) PerCoreW() float64 { return f.RestW / float64(f.Tiles) }
 // ChipJ returns full-chip energy for a run: interconnect + rest +
 // compression hardware (scheme == "" means no compression hardware).
 // comprEvents is the number of compression events (Meter.ComprEvents).
-func (f FullCMPModel) ChipJ(icJ float64, cycles uint64, scheme string, comprEvents uint64) (float64, error) {
+func (f FullCMPModel) ChipJ(icJ Joules, cycles uint64, scheme string, comprEvents uint64) (Joules, error) {
 	t := float64(cycles) / wire.ClockHz
-	total := icJ + f.RestW*t
+	total := icJ + Joules(f.RestW*t)
 	if scheme != "" {
 		var row cacti.Table1Row
 		found := false
@@ -222,11 +234,11 @@ func (f FullCMPModel) ChipJ(icJ float64, cycles uint64, scheme string, comprEven
 		// so the static percentage applies to the whole rest share that
 		// is leakage-like (~60% at 65 nm high-performance).
 		const leakageLikeShare = 0.6
-		total += row.StaticPct / 100 * perCore * leakageLikeShare * float64(f.Tiles) * t
+		total += Joules(row.StaticPct / 100 * perCore * leakageLikeShare * float64(f.Tiles) * t)
 		// Dynamic: per compression event, scaled off the max-dynamic
 		// percentage at the paper's 4-structures-per-cycle peak.
 		accessJ := (row.MaxDynPct / 100 * perCore) / (4 * wire.ClockHz)
-		total += accessJ * float64(comprEvents)
+		total += Joules(accessJ * float64(comprEvents))
 	}
 	return total, nil
 }

@@ -12,14 +12,14 @@ func TestLinkDynAccumulation(t *testing.T) {
 	// 11 bytes over one 5mm B8X link: 88 bits * 0.5 * 3.3125 pJ.
 	m.LinkTraversal(wire.B8X, 5e-3, 11, 1)
 	want := 88 * 0.5 * wire.DynamicEnergyPerTransition(wire.B8X, 5e-3)
-	got := m.Link(0).DynJ
+	got := float64(m.Link(0).DynJ)
 	if math.Abs(got-want)/want > 1e-12 {
 		t.Fatalf("link dyn %g, want %g", got, want)
 	}
 	// VL wires cost less per bit.
 	m2 := NewMeter(16)
 	m2.LinkTraversal(wire.VL5B, 5e-3, 11, 3)
-	if m2.Link(0).DynJ >= got {
+	if float64(m2.Link(0).DynJ) >= got {
 		t.Fatal("VL traversal should cost less than B8X")
 	}
 }
@@ -29,11 +29,11 @@ func TestStaticIntegratesOverTime(t *testing.T) {
 	m.AddStaticWires(wire.B8X, 5e-3, 600*48)
 	e1 := m.Link(4_000_000).StaticJ // 1 ms
 	e2 := m.Link(8_000_000).StaticJ
-	if math.Abs(e2-2*e1)/e1 > 1e-12 {
+	if math.Abs(float64(e2-2*e1))/float64(e1) > 1e-12 {
 		t.Fatalf("static not linear in time: %g vs %g", e1, e2)
 	}
 	wantW := wire.StaticPowerWatts(wire.B8X, 5e-3, 600*48) * LinkLeakageDuty
-	if gotW := e1 / m.Seconds(4_000_000); math.Abs(gotW-wantW)/wantW > 1e-9 {
+	if gotW := float64(e1) / float64(m.Seconds(4_000_000)); math.Abs(gotW-wantW)/wantW > 1e-9 {
 		t.Fatalf("static power %g W, want %g W", gotW, wantW)
 	}
 }
@@ -50,7 +50,7 @@ func TestHeterogeneousStandingLeakageBelowBaseline(t *testing.T) {
 	if h >= b {
 		t.Fatalf("heterogeneous static %g not below baseline %g", h, b)
 	}
-	if ratio := h / b; ratio < 0.40 || ratio > 0.60 {
+	if ratio := float64(h) / float64(b); ratio < 0.40 || ratio > 0.60 {
 		t.Fatalf("static ratio %.2f, expected ~0.48 from Table 2/3", ratio)
 	}
 }
@@ -59,7 +59,7 @@ func TestRouterEnergy(t *testing.T) {
 	m := NewMeter(16)
 	m.RouterHop(67, 2)
 	want := 67*RouterDynPerByteJ + 2*RouterDynPerFlitJ
-	if got := m.RouterDynJ(); math.Abs(got-want)/want > 1e-12 {
+	if got := float64(m.RouterDynJ()); math.Abs(got-want)/want > 1e-12 {
 		t.Fatalf("router dyn %g, want %g", got, want)
 	}
 	// Interconnect includes router static.
@@ -95,7 +95,7 @@ func TestCalibrate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(chip-1.0) > 1e-9 {
+	if math.Abs(float64(chip)-1.0) > 1e-9 {
 		t.Fatalf("baseline chip energy %g, want 1.0", chip)
 	}
 }
@@ -120,7 +120,7 @@ func TestCalibrateRejectsBadInputs(t *testing.T) {
 
 func TestCompressionHardwareOverheadGrowsWithEntries(t *testing.T) {
 	f := Calibrate(0.36, 4_000_000_000, 0.36, 16)
-	var prev float64
+	var prev Joules
 	for i, scheme := range []string{"2-byte Stride", "4-entry DBRC", "16-entry DBRC", "64-entry DBRC"} {
 		chip, err := f.ChipJ(0.36, 4_000_000_000, scheme, 1_000_000)
 		if err != nil {
@@ -137,7 +137,7 @@ func TestCompressionHardwareOverheadGrowsWithEntries(t *testing.T) {
 	// 64-entry DBRC static is 3.76% of core power: the chip-level
 	// overhead must be percent-scale, the Figure 7 inversion driver.
 	chip64, _ := f.ChipJ(0.36, 4_000_000_000, "64-entry DBRC", 0)
-	overhead := chip64 - 1.0
+	overhead := float64(chip64) - 1.0
 	if overhead < 0.005 || overhead > 0.05 {
 		t.Errorf("64-entry DBRC chip overhead %.4f, want percent-scale", overhead)
 	}
@@ -179,7 +179,7 @@ func TestSnapshotWindows(t *testing.T) {
 		t.Fatal("windowed dynamic energy should exclude pre-snapshot activity")
 	}
 	want := 11 * 8 * Alpha * wire.DynamicEnergyPerTransition(wire.B8X, 5e-3)
-	if math.Abs(window.DynJ-want)/want > 1e-9 {
+	if math.Abs(float64(window.DynJ)-want)/want > 1e-9 {
 		t.Fatalf("window dyn %g, want %g", window.DynJ, want)
 	}
 	// Static integrates over the window length regardless of snapshot.

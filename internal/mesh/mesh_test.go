@@ -281,11 +281,11 @@ type countingObserver struct {
 	bytes          int
 }
 
-func (o *countingObserver) LinkTraversal(k wire.Kind, l float64, b, f int) {
+func (o *countingObserver) LinkTraversal(k wire.Kind, l float64, b int, f noc.FlitCount) {
 	o.links++
 	o.bytes += b
 }
-func (o *countingObserver) RouterHop(b, f int) { o.routers++ }
+func (o *countingObserver) RouterHop(b int, f noc.FlitCount) { o.routers++ }
 
 func TestObserverSeesEveryHop(t *testing.T) {
 	k := sim.NewKernel()
@@ -326,7 +326,7 @@ func TestIdleLatencyFormulaProperty(t *testing.T) {
 		k.Run(nil)
 		topo := n.Topology()
 		hops := topo.Hops(src, dst)
-		flits := noc.Flits(size, 75)
+		flits := int(noc.Flits(size, 75))
 		want := sim.Time(hops*(2+8) + 2 + flits - 1)
 		return got == want
 	}

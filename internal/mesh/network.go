@@ -144,9 +144,9 @@ func LayoutVLBPW(vlBytes int) (Config, error) {
 type Observer interface {
 	// LinkTraversal is called once per message per link: the message's
 	// payload bits cross lengthM of kind wires in flits flits.
-	LinkTraversal(kind wire.Kind, lengthM float64, msgBytes, flits int)
+	LinkTraversal(kind wire.Kind, lengthM float64, msgBytes int, flits noc.FlitCount)
 	// RouterHop is called once per message per router traversed.
-	RouterHop(msgBytes, flits int)
+	RouterHop(msgBytes int, flits noc.FlitCount)
 }
 
 // channel is one wire plane of one directed link.
@@ -169,9 +169,12 @@ type Network struct {
 	obs      Observer
 	handlers []Handler
 
-	// links[from][dir] indexed flat: directed link from tile a to
-	// adjacent tile b stored at linkIndex(a, b).
-	channels map[int]*[numPlanes]*channel
+	// channels holds the directed links in a dense slice indexed by
+	// linkIndex(from, to); nil for tile pairs that are not adjacent.
+	// A slice (not a map) so every iteration is in deterministic link
+	// order — map iteration order would vary run to run.
+	channels []*[numPlanes]*channel
+	nLinks   int
 
 	inFlight int
 
@@ -199,7 +202,7 @@ func New(k *sim.Kernel, cfg Config, obs Observer) *Network {
 		cfg:      cfg,
 		obs:      obs,
 		handlers: make([]Handler, topo.Tiles()),
-		channels: make(map[int]*[numPlanes]*channel),
+		channels: make([]*[numPlanes]*channel, topo.Tiles()*topo.Tiles()),
 	}
 	for c := range n.latHist {
 		// 2-cycle buckets up to 512 cycles; congested tails overflow
@@ -230,6 +233,7 @@ func New(k *sim.Kernel, cfg Config, obs Observer) *Network {
 				}
 			}
 			n.channels[n.linkIndex(id, topo.IDOf(nb))] = &planes
+			n.nLinks++
 		}
 	}
 	return n
@@ -260,7 +264,7 @@ func (n *Network) PlaneWidth(p Plane) int { return n.cfg.Channels[p].WidthBytes 
 // plane exists).
 func (n *Network) Send(m *noc.Message) {
 	if err := m.Validate(n.topo.Tiles()); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("mesh: refusing malformed message: %v", err))
 	}
 	plane := PlaneB
 	switch {
@@ -274,10 +278,7 @@ func (n *Network) Send(m *noc.Message) {
 	if !n.HasPlane(plane) {
 		panic(fmt.Sprintf("mesh: message %v requests absent plane %v", m.Type, plane))
 	}
-	route := n.topo.RouteXY(m.Src, m.Dst)
-	if len(route) == 0 {
-		panic("mesh: zero-length route")
-	}
+	route := n.routeOf(m)
 	n.inFlight++
 	injected := n.k.Now()
 	flits := noc.Flits(m.SizeBytes, n.cfg.Channels[plane].WidthBytes)
@@ -285,8 +286,19 @@ func (n *Network) Send(m *noc.Message) {
 	n.hop(m, plane, injected, m.Src, route, 0, flits)
 }
 
+// routeOf computes the XY route for a validated message. An empty
+// route means the topology and the validator disagree about what a
+// legal endpoint pair is — always a bug, never recoverable.
+func (n *Network) routeOf(m *noc.Message) []int {
+	route := n.topo.RouteXY(m.Src, m.Dst)
+	if len(route) == 0 {
+		panic("mesh: zero-length route")
+	}
+	return route
+}
+
 // hop models the head flit leaving tile `at` toward route[idx].
-func (n *Network) hop(m *noc.Message, plane Plane, injected sim.Time, at int, route []int, idx, flits int) {
+func (n *Network) hop(m *noc.Message, plane Plane, injected sim.Time, at int, route []int, idx int, flits noc.FlitCount) {
 	next := route[idx]
 	planes := n.channels[n.linkIndex(at, next)]
 	if planes == nil {
@@ -357,6 +369,9 @@ func (n *Network) Summary() Summary {
 	}
 	s.MeanHopQueuing = n.hopWait.Value()
 	for _, planes := range n.channels {
+		if planes == nil {
+			continue
+		}
 		for _, ch := range planes {
 			if ch != nil {
 				s.TotalFlits += ch.flits.Value()
@@ -408,7 +423,7 @@ type StaticWireStats struct {
 
 // StaticWires returns the standing wire inventory per plane.
 func (n *Network) StaticWires() []StaticWireStats {
-	nLinks := len(n.channels)
+	nLinks := n.nLinks
 	var out []StaticWireStats
 	for p := Plane(0); p < numPlanes; p++ {
 		cfg := n.cfg.Channels[p]
@@ -425,4 +440,4 @@ func (n *Network) StaticWires() []StaticWireStats {
 }
 
 // Links returns the number of directed links in the mesh.
-func (n *Network) Links() int { return len(n.channels) }
+func (n *Network) Links() int { return n.nLinks }

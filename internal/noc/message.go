@@ -134,8 +134,9 @@ func HasAddr(t Type) bool {
 	switch t {
 	case GetS, GetX, Upgrade, AckNoData, WBAck, Inv, FwdGetS, FwdGetX:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // CarriesData reports whether the type carries the 64-byte cache line.
@@ -146,8 +147,9 @@ func CarriesData(t Type) bool {
 	switch t {
 	case Data, DataExclusive, WriteBack, Revision:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Critical reports whether the type is on the critical path of an L1
@@ -159,8 +161,9 @@ func Critical(t Type) bool {
 	switch t {
 	case WriteBack, ReplacementHint, Revision, WBAck:
 		return false
+	default:
+		return true
 	}
-	return true
 }
 
 // Compressible reports whether the proposal's address-compression applies
@@ -170,8 +173,9 @@ func Compressible(t Type) bool {
 	switch t {
 	case GetS, GetX, Upgrade, Inv, FwdGetS, FwdGetX:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Message is one in-flight protocol message.
@@ -260,14 +264,22 @@ func (m *Message) Validate(cores int) error {
 	return nil
 }
 
+// FlitCount is a number of flits — the serialization quanta a message
+// is chopped into on a wire plane. A defined type so flit math cannot
+// silently mix with byte or cycle counts (see tilesimvet's units
+// analyzer).
+//
+//tilesim:unit flits
+type FlitCount int
+
 // Flits returns the number of width-byte flits a size-byte message
 // serializes into.
-func Flits(sizeBytes, widthBytes int) int {
+func Flits(sizeBytes, widthBytes int) FlitCount {
 	if widthBytes <= 0 {
 		panic("noc: flit width must be positive")
 	}
 	if sizeBytes <= 0 {
 		panic("noc: message size must be positive")
 	}
-	return (sizeBytes + widthBytes - 1) / widthBytes
+	return FlitCount((sizeBytes + widthBytes - 1) / widthBytes)
 }

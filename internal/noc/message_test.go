@@ -93,7 +93,7 @@ func TestFlits(t *testing.T) {
 		{3, 5, 1},
 	}
 	for _, c := range cases {
-		if got := Flits(c.size, c.width); got != c.want {
+		if got := Flits(c.size, c.width); got != FlitCount(c.want) {
 			t.Errorf("Flits(%d, %d) = %d, want %d", c.size, c.width, got, c.want)
 		}
 	}

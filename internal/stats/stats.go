@@ -285,7 +285,7 @@ func (t *Table) CSV() string {
 // for deterministic iteration when reporting.
 func SortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //tilesim:ordered — keys are sorted below
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
