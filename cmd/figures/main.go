@@ -1,5 +1,6 @@
 // Command figures regenerates the paper's evaluation figures by running
-// the full simulation sweeps:
+// the full simulation sweeps through the parallel sweep engine
+// (internal/sweep):
 //
 //	Figure 2 - address-compression coverage per application
 //	Figure 5 - message-class breakdown on the interconnect
@@ -8,21 +9,32 @@
 //
 // Usage:
 //
-//	figures                 # everything at reporting scale (minutes)
-//	figures -figure 6       # one figure
-//	figures -quick          # smoke-test scale (seconds)
-//	figures -csv            # CSV output
+//	figures                  # everything at reporting scale
+//	figures -figure 6        # one figure
+//	figures -quick           # smoke-test scale (seconds)
+//	figures -csv             # CSV output (tables on stdout, progress on stderr)
+//	figures -jobs 8          # worker pool size (default: GOMAXPROCS)
+//	figures -cache .figcache # persist results; reruns are near-instant
 //	figures -refs 24000 -warmup 12000   # custom scale
+//
+// Results are deterministic: output is byte-identical for any -jobs
+// value, and cached results are byte-identical to fresh simulations
+// (same-seed determinism, DESIGN.md §8-9). Within one invocation the
+// figures share an in-process result cache even without -cache, so
+// configurations that repeat across figures (e.g. each application's
+// baseline run, shared by Figures 5, 6 and 7) simulate once.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"tilesim/internal/figures"
 	"tilesim/internal/stats"
+	"tilesim/internal/sweep"
 )
 
 func main() {
@@ -34,6 +46,8 @@ func main() {
 		warmup   = flag.Int("warmup", 0, "override warmup references per core")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		ablation = flag.Bool("ablation", false, "run the ablation studies instead of the paper figures")
+		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", "", "result cache directory (empty = in-process cache only)")
 	)
 	flag.Parse()
 
@@ -49,6 +63,20 @@ func main() {
 	}
 	scale.Seed = *seed
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	cache := sweep.NewMemCache()
+	if *cacheDir != "" {
+		var err error
+		if cache, err = sweep.NewDiskCache(*cacheDir); err != nil {
+			fail(err)
+		}
+	}
+	runner := &sweep.Runner{Jobs: *jobs, Cache: cache, Progress: progressPrinter()}
+
 	emit := func(title string, t *stats.Table) {
 		if *csv {
 			fmt.Print(t.CSV())
@@ -56,50 +84,57 @@ func main() {
 		}
 		fmt.Printf("%s\n\n%s\n", title, t.String())
 	}
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
-	}
 	want := func(n int) bool { return *figure == 0 || *figure == n }
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	trailer := func(what string, start time.Time) {
+		if *csv {
+			return
+		}
+		st := cache.Stats()
+		fmt.Printf("(%s completed in %.0fs at refs=%d warmup=%d seed=%d; jobs=%d, cache: %d hits / %d misses, %d from disk)\n",
+			what, time.Since(start).Seconds(), scale.RefsPerCore, scale.WarmupRefs, scale.Seed,
+			workers, st.Hits, st.Misses, st.DiskHits)
+	}
 
 	start := time.Now()
 	if *ablation {
-		_, t, err := figures.AblationWiring(scale, []string{"MP3D", "Unstructured", "FFT", "Water-nsq"})
+		_, t, err := figures.AblationWiring(runner, scale, []string{"MP3D", "Unstructured", "FFT", "Water-nsq"})
 		if err != nil {
 			fail(err)
 		}
 		emit("Ablation A: link layouts (paper VL+B vs Cheng-style L+PW+ReplyPartitioning vs combined)", t)
-		_, t, err = figures.AblationDBRCSize(scale, "FFT")
+		_, t, err = figures.AblationDBRCSize(runner, scale, "FFT")
 		if err != nil {
 			fail(err)
 		}
 		emit("Ablation B: DBRC size sweep on FFT (incl. untabulated 8/32-entry points)", t)
-		_, t, err = figures.AblationSensitivity(scale, "MP3D")
+		_, t, err = figures.AblationSensitivity(runner, scale, "MP3D")
 		if err != nil {
 			fail(err)
 		}
 		emit("Ablation C: sensitivity of the MP3D win to router depth and wire speed", t)
-		if !*csv {
-			fmt.Printf("(ablations completed in %.0fs)\n", time.Since(start).Seconds())
-		}
+		trailer("ablations", start)
 		return
 	}
 	if want(2) {
-		_, t, err := figures.Figure2(scale)
+		_, t, err := figures.Figure2(runner, scale)
 		if err != nil {
 			fail(err)
 		}
 		emit("Figure 2: address compression coverage (fraction of compressible messages compressed)", t)
 	}
 	if want(5) {
-		_, t, err := figures.Figure5(scale)
+		_, t, err := figures.Figure5(runner, scale)
 		if err != nil {
 			fail(err)
 		}
 		emit("Figure 5: breakdown of messages on the interconnect (baseline)", t)
 	}
 	if want(6) || want(7) {
-		results, err := figures.Figure67(scale)
+		results, err := figures.Figure67(runner, scale)
 		if err != nil {
 			fail(err)
 		}
@@ -111,8 +146,28 @@ func main() {
 			emit("Figure 7: normalized full-CMP ED^2P (interconnect share 36%)", figures.Figure7Table(results))
 		}
 	}
-	if !*csv {
-		fmt.Printf("(sweep completed in %.0fs at refs=%d warmup=%d seed=%d)\n",
-			time.Since(start).Seconds(), scale.RefsPerCore, scale.WarmupRefs, scale.Seed)
+	trailer("sweep", start)
+}
+
+// progressPrinter returns a sweep progress callback that rewrites one
+// stderr status line per batch — jobs done/total and an ETA projected
+// from the elapsed wall clock — and terminates it when the batch
+// completes. The callback is invoked serialized by the runner.
+func progressPrinter() func(done, total int) {
+	var start time.Time
+	return func(done, total int) {
+		if start.IsZero() {
+			start = time.Now()
+		}
+		elapsed := time.Since(start)
+		eta := "?"
+		if done > 0 {
+			eta = (elapsed / time.Duration(done) * time.Duration(total-done)).Round(time.Second).String()
+		}
+		fmt.Fprintf(os.Stderr, "\rsweep: %d/%d jobs done, eta %-8s", done, total, eta)
+		if done == total {
+			fmt.Fprintf(os.Stderr, "\n")
+			start = time.Time{}
+		}
 	}
 }

@@ -4,6 +4,10 @@
 //	Table 2 - engineered wire catalog (B-, L-, PW-Wires)
 //	Table 3 - VL-Wire catalog at 3/4/5-byte channel widths
 //
+// The tables are analytic — wire physics and SRAM cost models, no
+// simulation — so unlike cmd/figures this command finishes instantly
+// and takes no -jobs/-cache flags.
+//
 // Usage:
 //
 //	tables            # all tables

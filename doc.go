@@ -10,24 +10,35 @@
 // links split into a few very-low-latency VL-Wires for short critical
 // messages plus baseline wires for everything else.
 //
-// Layout:
+// Module map (each package's modelling decisions live in the named
+// DESIGN.md section):
 //
-//	internal/core       the proposal: message management (compress + map)
-//	internal/compress   DBRC / Stride / Perfect address codecs
-//	internal/wire       wire RC physics and the Table 2/3 catalogs
-//	internal/cacti      SRAM cost models (Table 1)
-//	internal/mesh       4x4 wormhole mesh with per-plane channels
-//	internal/coherence  directory MESI protocol
-//	internal/cache      L1/L2 arrays and MSHRs
-//	internal/cmp        system assembly and run harness
-//	internal/energy     link/router/chip energy and ED^2P metrics
-//	internal/workload   13 SPLASH-2-class synthetic applications
-//	internal/figures    regeneration of every paper table and figure
+//	internal/sim        deterministic event kernel            DESIGN.md §3
+//	internal/stats      counters, histograms, tables          DESIGN.md §3
+//	internal/wire       wire RC physics, Table 2/3 catalogs   DESIGN.md §5
+//	internal/cacti      SRAM cost models (Table 1)            DESIGN.md §5
+//	internal/compress   DBRC / Stride / Perfect codecs        DESIGN.md §5
+//	internal/noc        message model and classification      DESIGN.md §5
+//	internal/mesh       4x4 wormhole mesh, per-plane links    DESIGN.md §5
+//	internal/cache      L1/L2 arrays and MSHRs                DESIGN.md §3
+//	internal/coherence  directory MESI protocol               DESIGN.md §5
+//	internal/cmp        system assembly and run harness       DESIGN.md §3
+//	internal/energy     link/router/chip energy, ED^2P        DESIGN.md §5
+//	internal/workload   13 SPLASH-2-class synthetic apps      DESIGN.md §5
+//	internal/core       the proposal: compress + plane map    DESIGN.md §1
+//	internal/trace      workload record/replay                DESIGN.md §7
+//	internal/sweep      parallel sweep engine + result cache  DESIGN.md §9
+//	internal/figures    paper table/figure regeneration       DESIGN.md §4
+//	internal/analysis   tilesimvet static-analysis rules      DESIGN.md §8
 //	cmd/tilesim         single-run CLI
-//	cmd/tables          Tables 1-3
-//	cmd/figures         Figures 2, 5, 6, 7
+//	cmd/tables          Tables 1-3 (analytic, no simulation)
+//	cmd/figures         Figures 2, 5, 6, 7 + ablations via the sweep engine
+//	cmd/tracegen        trace capture and summary
+//	cmd/tilesimvet      the static analyzer CLI
 //
 // The benchmarks in bench_test.go regenerate each table and figure at a
-// reduced scale; see EXPERIMENTS.md for full-scale paper-vs-measured
-// numbers and DESIGN.md for modelling decisions.
+// reduced scale and measure the sweep engine's serial-vs-parallel
+// throughput; see EXPERIMENTS.md for full-scale paper-vs-measured
+// numbers (with per-section reproduction commands) and DESIGN.md for
+// modelling decisions.
 package tilesim

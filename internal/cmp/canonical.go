@@ -1,0 +1,37 @@
+package cmp
+
+import "fmt"
+
+// SimVersion identifies the observable behavior of the simulator: two
+// builds with the same SimVersion must produce bit-identical Results
+// for the same RunConfig. It is one of the two inputs of the sweep
+// cache key (internal/sweep), so bump it whenever a change alters what
+// cmp.Run returns for an unchanged configuration — model changes,
+// calibration changes, new Result fields, workload-generator changes.
+// Pure refactors, speedups and new configuration knobs (whose zero
+// value preserves old behavior) do not need a bump: stale cache
+// entries are only a correctness problem when identical keys could map
+// to different results. See DESIGN.md §9 for the invalidation rules.
+const SimVersion = "tilesim-sim-v2"
+
+// Canonical returns a stable one-line encoding of every
+// simulation-relevant field of the configuration. Two configurations
+// with equal encodings produce bit-identical Results (given equal
+// SimVersion); equivalent spellings normalize to one encoding
+// (Heterogeneous=true and Wiring="vlb" encode identically, and the
+// Reply Partitioning that Wiring="lpw" implies is folded in).
+//
+// Configurations driven by a custom Generator have no canonical
+// encoding — the generator's stream is opaque — and return an error;
+// the sweep engine runs them uncached.
+func (c RunConfig) Canonical() (string, error) {
+	if c.Generator != nil {
+		return "", fmt.Errorf("cmp: config with a custom Generator has no canonical encoding (trace replay is not cacheable)")
+	}
+	w := c.wiring()
+	rp := c.ReplyPartitioning || w == "lpw"
+	return fmt.Sprintf("app=%s refs=%d warmup=%d seed=%d compress=%s/%d/%d wiring=%s rp=%t router=%d linkscale=%g",
+		c.App, c.RefsPerCore, c.WarmupRefs, c.Seed,
+		c.Compression.Kind, c.Compression.Entries, c.Compression.LowOrderBytes,
+		w, rp, c.RouterLatency, c.LinkCyclesScale), nil
+}

@@ -7,6 +7,7 @@ import (
 	"tilesim/internal/compress"
 	"tilesim/internal/energy"
 	"tilesim/internal/stats"
+	"tilesim/internal/sweep"
 )
 
 // This file holds the ablation studies DESIGN.md calls out beyond the
@@ -31,7 +32,8 @@ type WiringAblationRow struct {
 // AblationWiring compares link layouts on the given applications. The
 // compression scheme is the paper's practical point (4-entry DBRC, 2B
 // low-order) wherever the layout supports compression.
-func AblationWiring(scale Scale, apps []string) ([]WiringAblationRow, *stats.Table, error) {
+func AblationWiring(runner *sweep.Runner, scale Scale, apps []string) ([]WiringAblationRow, *stats.Table, error) {
+	runner = defaulted(runner)
 	dbrc := compress.Spec{Kind: "dbrc", Entries: 4, LowOrderBytes: 2}
 	layouts := []struct {
 		name string
@@ -47,23 +49,26 @@ func AblationWiring(scale Scale, apps []string) ([]WiringAblationRow, *stats.Tab
 			return cmp.RunConfig{App: app, Compression: dbrc, Wiring: "vlbpw", ReplyPartitioning: true}
 		}},
 	}
-	t := stats.NewTable("Application", "Layout", "Norm time", "Norm link ED2P", "VL traffic", "PW traffic")
-	var rows []WiringAblationRow
+	stride := 1 + len(layouts)
+	jobs := make([]cmp.RunConfig, 0, len(apps)*stride)
 	for _, app := range apps {
-		base, err := cmp.Run(cmp.RunConfig{
-			App: app, RefsPerCore: scale.RefsPerCore, WarmupRefs: scale.WarmupRefs,
-			Seed: scale.Seed, Compression: compress.Spec{Kind: "none"},
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("wiring ablation baseline %s: %w", app, err)
-		}
+		jobs = append(jobs, scale.job(app, compress.Spec{Kind: "none"}))
 		for _, l := range layouts {
 			cfg := l.cfg(app)
 			cfg.RefsPerCore, cfg.WarmupRefs, cfg.Seed = scale.RefsPerCore, scale.WarmupRefs, scale.Seed
-			r, err := cmp.Run(cfg)
-			if err != nil {
-				return nil, nil, fmt.Errorf("wiring ablation %s/%s: %w", app, l.name, err)
-			}
+			jobs = append(jobs, cfg)
+		}
+	}
+	jrs := runner.Run(jobs)
+	if err := sweep.Err(jrs); err != nil {
+		return nil, nil, fmt.Errorf("wiring ablation: %w", err)
+	}
+	t := stats.NewTable("Application", "Layout", "Norm time", "Norm link ED2P", "VL traffic", "PW traffic")
+	var rows []WiringAblationRow
+	for ai, app := range apps {
+		base := jrs[ai*stride].Result
+		for li, l := range layouts {
+			r := jrs[ai*stride+1+li].Result
 			row := WiringAblationRow{
 				App:          app,
 				Layout:       l.name,
@@ -95,37 +100,39 @@ type SensitivityRow struct {
 // wire speed around the calibrated 2-stage / 0.4 ns/mm configuration
 // (see DESIGN.md section 5.0). Deeper routers and faster wires both
 // dilute the VL-Wire advantage.
-func AblationSensitivity(scale Scale, app string) ([]SensitivityRow, *stats.Table, error) {
-	t := stats.NewTable("Router stages", "Wire-speed scale", "Norm time (DBRC-4 2B)")
-	var rows []SensitivityRow
-	for _, p := range []struct {
+func AblationSensitivity(runner *sweep.Runner, scale Scale, app string) ([]SensitivityRow, *stats.Table, error) {
+	runner = defaulted(runner)
+	points := []struct {
 		router int
 		scale  float64
 	}{
 		{1, 1.0}, {2, 0.5}, {2, 1.0}, {2, 2.0}, {4, 1.0},
-	} {
-		mk := func(het bool) (cmp.Result, error) {
-			cfg := cmp.RunConfig{
-				App: app, RefsPerCore: scale.RefsPerCore, WarmupRefs: scale.WarmupRefs,
-				Seed:            scale.Seed,
-				Compression:     compress.Spec{Kind: "none"},
-				RouterLatency:   p.router,
-				LinkCyclesScale: p.scale,
-			}
-			if het {
-				cfg.Compression = compress.Spec{Kind: "dbrc", Entries: 4, LowOrderBytes: 2}
-				cfg.Heterogeneous = true
-			}
-			return cmp.Run(cfg)
+	}
+	mk := func(p struct {
+		router int
+		scale  float64
+	}, het bool) cmp.RunConfig {
+		cfg := scale.job(app, compress.Spec{Kind: "none"})
+		cfg.RouterLatency = p.router
+		cfg.LinkCyclesScale = p.scale
+		if het {
+			cfg.Compression = compress.Spec{Kind: "dbrc", Entries: 4, LowOrderBytes: 2}
+			cfg.Heterogeneous = true
 		}
-		base, err := mk(false)
-		if err != nil {
-			return nil, nil, err
-		}
-		het, err := mk(true)
-		if err != nil {
-			return nil, nil, err
-		}
+		return cfg
+	}
+	jobs := make([]cmp.RunConfig, 0, 2*len(points))
+	for _, p := range points {
+		jobs = append(jobs, mk(p, false), mk(p, true))
+	}
+	jrs := runner.Run(jobs)
+	if err := sweep.Err(jrs); err != nil {
+		return nil, nil, fmt.Errorf("sensitivity ablation: %w", err)
+	}
+	t := stats.NewTable("Router stages", "Wire-speed scale", "Norm time (DBRC-4 2B)")
+	var rows []SensitivityRow
+	for i, p := range points {
+		base, het := jrs[2*i].Result, jrs[2*i+1].Result
 		row := SensitivityRow{
 			RouterLatency: p.router,
 			LinkScale:     p.scale,
@@ -149,14 +156,21 @@ type DBRCSizeRow struct {
 // AblationDBRCSize sweeps the DBRC entry count (including the paper's
 // untabulated 8 and 32 points) on one application, exposing where the
 // Figure 7 coverage-vs-hardware-overhead tradeoff turns over.
-func AblationDBRCSize(scale Scale, app string) ([]DBRCSizeRow, *stats.Table, error) {
-	base, err := cmp.Run(cmp.RunConfig{
-		App: app, RefsPerCore: scale.RefsPerCore, WarmupRefs: scale.WarmupRefs,
-		Seed: scale.Seed, Compression: compress.Spec{Kind: "none"},
-	})
-	if err != nil {
-		return nil, nil, err
+func AblationDBRCSize(runner *sweep.Runner, scale Scale, app string) ([]DBRCSizeRow, *stats.Table, error) {
+	runner = defaulted(runner)
+	sizes := []int{4, 8, 16, 32, 64}
+	jobs := make([]cmp.RunConfig, 0, 1+len(sizes))
+	jobs = append(jobs, scale.job(app, compress.Spec{Kind: "none"}))
+	for _, entries := range sizes {
+		cfg := scale.job(app, compress.Spec{Kind: "dbrc", Entries: entries, LowOrderBytes: 2})
+		cfg.Heterogeneous = true
+		jobs = append(jobs, cfg)
 	}
+	jrs := runner.Run(jobs)
+	if err := sweep.Err(jrs); err != nil {
+		return nil, nil, fmt.Errorf("dbrc sweep: %w", err)
+	}
+	base := jrs[0].Result
 	model := energy.Calibrate(base.InterconnectJ, base.ExecCycles, ICShare, 16)
 	baseChipJ, err := model.ChipJ(base.InterconnectJ, base.ExecCycles, "", 0)
 	if err != nil {
@@ -166,16 +180,8 @@ func AblationDBRCSize(scale Scale, app string) ([]DBRCSizeRow, *stats.Table, err
 
 	t := stats.NewTable("DBRC entries", "Coverage", "Norm time", "Norm chip ED2P")
 	var rows []DBRCSizeRow
-	for _, entries := range []int{4, 8, 16, 32, 64} {
-		r, err := cmp.Run(cmp.RunConfig{
-			App: app, RefsPerCore: scale.RefsPerCore, WarmupRefs: scale.WarmupRefs,
-			Seed:          scale.Seed,
-			Compression:   compress.Spec{Kind: "dbrc", Entries: entries, LowOrderBytes: 2},
-			Heterogeneous: true,
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("dbrc sweep %d entries: %w", entries, err)
-		}
+	for i, entries := range sizes {
+		r := jrs[1+i].Result
 		chipJ, err := model.ChipJ(r.InterconnectJ, r.ExecCycles, r.Table1Scheme, r.ComprEvents)
 		if err != nil {
 			return nil, nil, err

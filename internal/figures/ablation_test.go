@@ -10,7 +10,7 @@ func TestAblationWiringQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
-	rows, table, err := AblationWiring(Quick(), []string{"MP3D", "Water-nsq"})
+	rows, table, err := AblationWiring(nil, Quick(), []string{"MP3D", "Water-nsq"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestAblationDBRCSizeQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
-	rows, table, err := AblationDBRCSize(Quick(), "FFT")
+	rows, table, err := AblationDBRCSize(nil, Quick(), "FFT")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestAblationSensitivityQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
-	rows, table, err := AblationSensitivity(Quick(), "MP3D")
+	rows, table, err := AblationSensitivity(nil, Quick(), "MP3D")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"tilesim/internal/compress"
 	"tilesim/internal/energy"
 	"tilesim/internal/stats"
+	"tilesim/internal/sweep"
 )
 
 // Figure67Result holds one application's full sweep: the baseline run
@@ -42,21 +43,34 @@ func sweepSpecs() (bars, lines []compress.Spec) {
 	return compress.Figure6Specs(), compress.PerfectSpecs()
 }
 
-// Figure67 runs the whole Figure 6 + Figure 7 sweep.
-func Figure67(scale Scale) ([]Figure67Result, error) {
+// Figure67 runs the whole Figure 6 + Figure 7 sweep: per application,
+// one baseline run plus every bar and line configuration, submitted as
+// a single batch so the grid parallelizes across applications too.
+func Figure67(runner *sweep.Runner, scale Scale) ([]Figure67Result, error) {
+	runner = defaulted(runner)
 	bars, lines := sweepSpecs()
-	var out []Figure67Result
-	for _, app := range Apps() {
-		base, err := cmp.Run(cmp.RunConfig{
-			App:         app,
-			RefsPerCore: scale.RefsPerCore,
-			WarmupRefs:  scale.WarmupRefs,
-			Seed:        scale.Seed,
-			Compression: compress.Spec{Kind: "none"},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("figure 6/7 baseline %s: %w", app, err)
+	specs := make([]compress.Spec, 0, len(bars)+len(lines))
+	specs = append(specs, bars...)
+	specs = append(specs, lines...)
+	apps := Apps()
+	stride := 1 + len(specs) // baseline + variants per application
+	jobs := make([]cmp.RunConfig, 0, len(apps)*stride)
+	for _, app := range apps {
+		jobs = append(jobs, scale.job(app, compress.Spec{Kind: "none"}))
+		for _, spec := range specs {
+			cfg := scale.job(app, spec)
+			cfg.Heterogeneous = true
+			jobs = append(jobs, cfg)
 		}
+	}
+	jrs := runner.Run(jobs)
+	if err := sweep.Err(jrs); err != nil {
+		return nil, fmt.Errorf("figure 6/7: %w", err)
+	}
+
+	var out []Figure67Result
+	for ai, app := range apps {
+		base := jrs[ai*stride].Result
 		// Full-CMP model calibrated on this application's baseline.
 		model := energy.Calibrate(base.InterconnectJ, base.ExecCycles, ICShare, 16)
 		baseChipJ, err := model.ChipJ(base.InterconnectJ, base.ExecCycles, "", 0)
@@ -67,41 +81,20 @@ func Figure67(scale Scale) ([]Figure67Result, error) {
 		baseLinkED2P := base.LinkED2P()
 
 		res := Figure67Result{App: app}
-		runOne := func(spec compress.Spec, perfect bool) error {
-			r, err := cmp.Run(cmp.RunConfig{
-				App:           app,
-				RefsPerCore:   scale.RefsPerCore,
-				WarmupRefs:    scale.WarmupRefs,
-				Seed:          scale.Seed,
-				Compression:   spec,
-				Heterogeneous: true,
-			})
-			if err != nil {
-				return fmt.Errorf("figure 6/7 %s/%s: %w", app, spec.Label(), err)
-			}
+		for si, spec := range specs {
+			r := jrs[ai*stride+1+si].Result
 			chipJ, err := model.ChipJ(r.InterconnectJ, r.ExecCycles, r.Table1Scheme, r.ComprEvents)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			res.Rows = append(res.Rows, Figure67Row{
 				Config:       spec.Label(),
-				Perfect:      perfect,
+				Perfect:      si >= len(bars),
 				NormTime:     float64(r.ExecCycles) / float64(base.ExecCycles),
 				NormLinkED2P: r.LinkED2P() / baseLinkED2P,
 				NormChipED2P: energy.ED2P(chipJ, r.ExecCycles) / baseChipED2P,
 				Coverage:     r.Coverage,
 			})
-			return nil
-		}
-		for _, spec := range bars {
-			if err := runOne(spec, false); err != nil {
-				return nil, err
-			}
-		}
-		for _, spec := range lines {
-			if err := runOne(spec, true); err != nil {
-				return nil, err
-			}
 		}
 		out = append(out, res)
 	}

@@ -13,6 +13,13 @@
 // paper reports, plus the raw series for programmatic checks. Scale
 // selects run length: paper-shape results want Full; smoke tests and
 // benchmarks use Quick.
+//
+// Every simulation-driven function takes a *sweep.Runner as its first
+// argument and submits its whole grid as one batch, so the runs fan out
+// over the runner's worker pool and duplicate configurations (within a
+// figure, across figures sharing the runner, and across invocations
+// sharing its disk cache) simulate once. nil selects the default
+// engine: parallel over GOMAXPROCS workers, uncached.
 package figures
 
 import (
@@ -23,6 +30,7 @@ import (
 	"tilesim/internal/compress"
 	"tilesim/internal/noc"
 	"tilesim/internal/stats"
+	"tilesim/internal/sweep"
 	"tilesim/internal/wire"
 	"tilesim/internal/workload"
 )
@@ -32,6 +40,26 @@ type Scale struct {
 	RefsPerCore int
 	WarmupRefs  int
 	Seed        int64
+}
+
+// job binds an (application, scheme) pair to this scale on the
+// baseline wiring; callers flip wiring knobs on the returned config.
+func (s Scale) job(app string, spec compress.Spec) cmp.RunConfig {
+	return cmp.RunConfig{
+		App:         app,
+		RefsPerCore: s.RefsPerCore,
+		WarmupRefs:  s.WarmupRefs,
+		Seed:        s.Seed,
+		Compression: spec,
+	}
+}
+
+// defaulted maps a nil runner to the default engine.
+func defaulted(r *sweep.Runner) *sweep.Runner {
+	if r == nil {
+		return &sweep.Runner{}
+	}
+	return r
 }
 
 // Quick is the smoke-test scale (~seconds per figure).
@@ -97,29 +125,33 @@ type CoverageResult struct {
 // under every Figure 2 configuration. The runs use the baseline
 // interconnect (coverage is a property of the address streams, not the
 // wires), matching the paper's standalone coverage study.
-func Figure2(scale Scale) ([]CoverageResult, *stats.Table, error) {
+func Figure2(r *sweep.Runner, scale Scale) ([]CoverageResult, *stats.Table, error) {
+	r = defaulted(r)
 	specs := compress.Figure2Specs()
+	apps := Apps()
+	// Heterogeneous wiring is irrelevant for coverage, but the
+	// compressed sizes must be legal for the VL width, so run on the
+	// baseline link and compress only logically.
+	jobs := make([]cmp.RunConfig, 0, len(apps)*len(specs))
+	for _, app := range apps {
+		for _, spec := range specs {
+			jobs = append(jobs, scale.job(app, spec))
+		}
+	}
+	jrs := r.Run(jobs)
+	if err := sweep.Err(jrs); err != nil {
+		return nil, nil, fmt.Errorf("figure 2: %w", err)
+	}
 	var results []CoverageResult
 	t := makeAppTable(labelsOf(specs))
-	for _, app := range Apps() {
+	i := 0
+	for _, app := range apps {
 		row := []string{app}
 		for _, spec := range specs {
-			r, err := cmp.Run(cmp.RunConfig{
-				App:         app,
-				RefsPerCore: scale.RefsPerCore,
-				WarmupRefs:  scale.WarmupRefs,
-				Seed:        scale.Seed,
-				Compression: spec,
-				// Heterogeneous wiring is irrelevant for coverage, but the
-				// compressed sizes must be legal for the VL width, so run
-				// on the baseline link and compress only logically.
-				Heterogeneous: false,
-			})
-			if err != nil {
-				return nil, nil, fmt.Errorf("figure 2 %s/%s: %w", app, spec.Label(), err)
-			}
-			results = append(results, CoverageResult{App: app, Scheme: spec.Label(), Coverage: r.Coverage})
-			row = append(row, fmt.Sprintf("%.2f", r.Coverage))
+			cov := jrs[i].Result.Coverage
+			i++
+			results = append(results, CoverageResult{App: app, Scheme: spec.Label(), Coverage: cov})
+			row = append(row, fmt.Sprintf("%.2f", cov))
 		}
 		t.AddRow(row...)
 	}
@@ -137,21 +169,22 @@ type MixResult struct {
 
 // Figure5 measures the message-class breakdown on the baseline
 // interconnect.
-func Figure5(scale Scale) ([]MixResult, *stats.Table, error) {
+func Figure5(runner *sweep.Runner, scale Scale) ([]MixResult, *stats.Table, error) {
+	runner = defaulted(runner)
+	apps := Apps()
+	jobs := make([]cmp.RunConfig, 0, len(apps))
+	for _, app := range apps {
+		jobs = append(jobs, scale.job(app, compress.Spec{Kind: "none"}))
+	}
+	jrs := runner.Run(jobs)
+	if err := sweep.Err(jrs); err != nil {
+		return nil, nil, fmt.Errorf("figure 5: %w", err)
+	}
 	t := stats.NewTable("Application", "Requests", "Responses", "Coherence cmds",
 		"Coherence replies", "Replacements", "Short w/ address")
 	var out []MixResult
-	for _, app := range Apps() {
-		r, err := cmp.Run(cmp.RunConfig{
-			App:         app,
-			RefsPerCore: scale.RefsPerCore,
-			WarmupRefs:  scale.WarmupRefs,
-			Seed:        scale.Seed,
-			Compression: compress.Spec{Kind: "none"},
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("figure 5 %s: %w", app, err)
-		}
+	for i, app := range apps {
+		r := jrs[i].Result
 		total := float64(r.Net.TotalMessages())
 		m := MixResult{App: app}
 		for c := 0; c < int(noc.NumClasses); c++ {

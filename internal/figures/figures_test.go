@@ -32,7 +32,7 @@ func TestFigure2Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
-	results, table, err := Figure2(Quick())
+	results, table, err := Figure2(nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestFigure5Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")
 	}
-	results, table, err := Figure5(Quick())
+	results, table, err := Figure5(nil, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestFigure67Quick(t *testing.T) {
 	// One app keeps the quick test fast while exercising the whole
 	// pipeline (the full sweep runs in cmd/figures and the benchmarks).
 	scale := Quick()
-	results, err := Figure67(scale)
+	results, err := Figure67(nil, scale)
 	if err != nil {
 		t.Fatal(err)
 	}
