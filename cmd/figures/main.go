@@ -26,13 +26,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"tilesim/internal/figures"
+	"tilesim/internal/obs"
 	"tilesim/internal/stats"
 	"tilesim/internal/sweep"
 )
@@ -48,6 +51,8 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the ablation studies instead of the paper figures")
 		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache", "", "result cache directory (empty = in-process cache only)")
+
+		metricsDir = flag.String("metrics-dir", "", "write per-figure metrics sidecar JSON files into this directory")
 	)
 	flag.Parse()
 
@@ -76,6 +81,15 @@ func main() {
 		}
 	}
 	runner := &sweep.Runner{Jobs: *jobs, Cache: cache, Progress: progressPrinter()}
+
+	var sidecars *metricsSidecar
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fail(err)
+		}
+		sidecars = &metricsSidecar{dir: *metricsDir, runs: make(map[string]obs.Snapshot)}
+		runner.OnResult = sidecars.collect
+	}
 
 	emit := func(title string, t *stats.Table) {
 		if *csv {
@@ -116,6 +130,9 @@ func main() {
 			fail(err)
 		}
 		emit("Ablation C: sensitivity of the MP3D win to router depth and wire speed", t)
+		if err := sidecars.flush("ablations"); err != nil {
+			fail(err)
+		}
 		trailer("ablations", start)
 		return
 	}
@@ -125,6 +142,9 @@ func main() {
 			fail(err)
 		}
 		emit("Figure 2: address compression coverage (fraction of compressible messages compressed)", t)
+		if err := sidecars.flush("figure2"); err != nil {
+			fail(err)
+		}
 	}
 	if want(5) {
 		_, t, err := figures.Figure5(runner, scale)
@@ -132,10 +152,16 @@ func main() {
 			fail(err)
 		}
 		emit("Figure 5: breakdown of messages on the interconnect (baseline)", t)
+		if err := sidecars.flush("figure5"); err != nil {
+			fail(err)
+		}
 	}
 	if want(6) || want(7) {
 		results, err := figures.Figure67(runner, scale)
 		if err != nil {
+			fail(err)
+		}
+		if err := sidecars.flush("figure6-7"); err != nil {
 			fail(err)
 		}
 		if want(6) {
@@ -147,6 +173,45 @@ func main() {
 		}
 	}
 	trailer("sweep", start)
+}
+
+// metricsSidecar harvests per-run metrics snapshots from the sweep
+// (Runner.OnResult) and writes one JSON sidecar per figure: an object
+// mapping "app/config-label" to that run's full metrics snapshot.
+// A nil *metricsSidecar is inert, so call sites need no guards.
+type metricsSidecar struct {
+	dir  string
+	runs map[string]obs.Snapshot
+}
+
+// collect is the Runner.OnResult hook. Duplicate configurations across
+// figures overwrite with an identical snapshot (results are
+// deterministic), so the last write wins harmlessly.
+func (s *metricsSidecar) collect(jr sweep.JobResult) {
+	if jr.Err != nil || len(jr.Result.Metrics) == 0 {
+		return
+	}
+	s.runs[jr.Config.App+"/"+jr.Config.Label()] = jr.Result.Metrics
+}
+
+// flush writes the snapshots collected since the previous flush to
+// <dir>/<name>.metrics.json and resets the collection. encoding/json
+// sorts map keys, so the sidecar is deterministic for a fixed sweep.
+func (s *metricsSidecar) flush(name string) error {
+	if s == nil || len(s.runs) == 0 {
+		return nil
+	}
+	data, err := json.MarshalIndent(s.runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, name+".metrics.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "figures: wrote %d run snapshots to %s\n", len(s.runs), path)
+	s.runs = make(map[string]obs.Snapshot)
+	return nil
 }
 
 // progressPrinter returns a sweep progress callback that rewrites one

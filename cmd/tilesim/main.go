@@ -7,6 +7,17 @@
 //	tilesim -app MP3D
 //	tilesim -app FFT -scheme dbrc -entries 4 -lo 2 -het
 //	tilesim -app Radix -scheme stride -lo 2 -het -refs 20000 -warmup 8000
+//
+// Observability (internal/obs, DESIGN.md §10):
+//
+//	tilesim -app FFT -metrics-out metrics.json
+//	tilesim -app FFT -het -trace-out trace.json -trace-sample 8
+//
+// -metrics-out writes the full metrics snapshot (per-link utilization,
+// latency breakdowns, MSHR residency, compression pipeline) as
+// deterministic JSON; -trace-out writes a Chrome trace-event file
+// loadable at https://ui.perfetto.dev, sampling every Nth message
+// lifecycle per -trace-sample.
 package main
 
 import (
@@ -19,6 +30,7 @@ import (
 	"tilesim/internal/compress"
 	"tilesim/internal/energy"
 	"tilesim/internal/noc"
+	"tilesim/internal/obs"
 	"tilesim/internal/workload"
 )
 
@@ -32,6 +44,10 @@ func main() {
 		refs    = flag.Int("refs", 8000, "memory references per core")
 		warmup  = flag.Int("warmup", 3000, "warmup references per core before measurement")
 		seed    = flag.Int64("seed", 1, "workload seed")
+
+		metricsOut  = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event file (Perfetto) to this file")
+		traceSample = flag.Int("trace-sample", 1, "trace every Nth message lifecycle")
 	)
 	flag.Parse()
 
@@ -43,10 +59,52 @@ func main() {
 		Compression:   compress.Spec{Kind: *scheme, Entries: *entries, LowOrderBytes: *lo},
 		Heterogeneous: *het,
 	}
-	r, err := cmp.Run(cfg)
+	sys, err := cmp.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tilesim:", err)
 		os.Exit(1)
+	}
+	var traceFile *os.File
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tilesim:", err)
+			os.Exit(1)
+		}
+		tracer = obs.NewTracer(traceFile, *traceSample)
+		sys.SetTracer(tracer)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tilesim:", err)
+		os.Exit(1)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tilesim: trace:", err)
+			os.Exit(1)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tilesim: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tilesim: wrote trace to %s (load at https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tilesim:", err)
+			os.Exit(1)
+		}
+		if err := r.Metrics.WriteJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tilesim: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tilesim: wrote %d metrics to %s\n", len(r.Metrics), *metricsOut)
 	}
 
 	fmt.Printf("application         %s\n", r.App)

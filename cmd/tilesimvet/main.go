@@ -1,7 +1,9 @@
 // Command tilesimvet runs tilesim's simulator-specific static analyses
 // over the module: determinism (no map-order or wall-clock dependence,
 // no global randomness), unit safety (no mixed-unit arithmetic), panic
-// hygiene (prefixed constant messages) and enum-switch exhaustiveness.
+// hygiene (prefixed constant messages), enum-switch exhaustiveness,
+// and obs-hook discipline (tracer calls in loops are nil-guarded and
+// never box through interface parameters).
 //
 // Usage:
 //

@@ -1,8 +1,17 @@
 // Command tracegen captures a synthetic application's memory-operation
-// stream into the tilesim trace format, or summarizes an existing trace.
+// stream into the tilesim trace format, summarizes an existing trace,
+// or replays one through the full simulator.
 //
 //	tracegen -app MP3D -refs 5000 > mp3d.trace
 //	tracegen -summarize mp3d.trace
+//	tracegen -replay mp3d.trace -het -scheme stride
+//	tracegen -replay mp3d.trace -metrics-out m.json -trace-out t.json
+//
+// Replay drives the 16 cores from the recorded per-core op streams
+// instead of a synthetic generator, so one captured workload can be
+// re-simulated under different interconnect configurations (and, with
+// the observability flags, inspected in Perfetto exactly like a
+// cmd/tilesim run; see DESIGN.md §10).
 package main
 
 import (
@@ -10,6 +19,9 @@ import (
 	"fmt"
 	"os"
 
+	"tilesim/internal/cmp"
+	"tilesim/internal/compress"
+	"tilesim/internal/obs"
 	"tilesim/internal/trace"
 	"tilesim/internal/workload"
 )
@@ -20,6 +32,17 @@ func main() {
 		refs      = flag.Int("refs", 2000, "references per core")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		summarize = flag.String("summarize", "", "summarize an existing trace file instead of generating")
+
+		replay  = flag.String("replay", "", "replay an existing trace file through the simulator")
+		scheme  = flag.String("scheme", "none", "replay: compression scheme (none, dbrc, stride, perfect)")
+		entries = flag.Int("entries", 4, "replay: DBRC compression-cache entries")
+		lo      = flag.Int("lo", 2, "replay: low-order bytes (1 or 2)")
+		het     = flag.Bool("het", false, "replay: use the heterogeneous VL+B interconnect")
+		warmup  = flag.Int("warmup", 0, "replay: warmup references per core before measurement")
+
+		metricsOut  = flag.String("metrics-out", "", "replay: write the metrics snapshot as JSON to this file")
+		traceOut    = flag.String("trace-out", "", "replay: write a Chrome trace-event file (Perfetto) to this file")
+		traceSample = flag.Int("trace-sample", 1, "replay: trace every Nth message lifecycle")
 	)
 	flag.Parse()
 
@@ -43,6 +66,16 @@ func main() {
 		return
 	}
 
+	if *replay != "" {
+		cfg := cmp.RunConfig{
+			Compression:   compress.Spec{Kind: *scheme, Entries: *entries, LowOrderBytes: *lo},
+			Heterogeneous: *het,
+			WarmupRefs:    *warmup,
+		}
+		runReplay(*replay, cfg, *metricsOut, *traceOut, *traceSample)
+		return
+	}
+
 	gen, err := workload.NewNamedApp(*app, 16, *refs, *seed)
 	if err != nil {
 		fatal(err)
@@ -51,6 +84,85 @@ func main() {
 	if err := tr.Encode(os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// runReplay decodes path and drives the simulator from the recorded
+// streams. cfg carries the interconnect knobs; App, RefsPerCore and
+// Generator are filled in here from the trace itself.
+func runReplay(path string, cfg cmp.RunConfig, metricsOut, traceOut string, traceSample int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Decode(f, 16)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	s := tr.Summarize()
+	if s.Loads+s.Stores == 0 {
+		fatal(fmt.Errorf("trace %s has no memory references", path))
+	}
+
+	cfg.App = "replay:" + path
+	cfg.Generator = tr
+	// RefsPerCore is only a label under a custom Generator (the cores
+	// run the streams to exhaustion), but NewSystem validates it.
+	cfg.RefsPerCore = (s.Loads + s.Stores + 15) / 16
+
+	sys, err := cmp.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var traceFile *os.File
+	var tracer *obs.Tracer
+	if traceOut != "" {
+		traceFile, err = os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = obs.NewTracer(traceFile, traceSample)
+		sys.SetTracer(tracer)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote trace to %s (load at https://ui.perfetto.dev)\n", traceOut)
+	}
+	if metricsOut != "" {
+		mf, err := os.Create(metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := r.Metrics.WriteJSON(mf); err == nil {
+			err = mf.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d metrics to %s\n", len(r.Metrics), metricsOut)
+	}
+
+	fmt.Printf("replayed            %s (%d cores, %d loads, %d stores)\n", path, s.Cores, s.Loads, s.Stores)
+	fmt.Printf("configuration       %s\n", r.Config)
+	fmt.Printf("execution time      %d cycles\n", r.ExecCycles)
+	fmt.Printf("L1 misses           %d, mean latency %.0f cycles\n", r.L1Misses, r.MeanMissLatency)
+	fmt.Printf("network messages    %d remote + %d tile-local\n", r.Net.TotalMessages(), r.LocalMessages)
+	fmt.Printf("request latency     p50 %.0f / p99 %.0f cycles\n", r.RequestLatencyP50, r.RequestLatencyP99)
+	if cfg.Compression.Kind != "none" {
+		fmt.Printf("compression         coverage %.1f%%\n", 100*r.Coverage)
+	}
+	fmt.Printf("interconnect energy %.3g J\n", r.InterconnectJ)
 }
 
 func fatal(err error) {

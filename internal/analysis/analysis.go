@@ -16,6 +16,10 @@
 //   - exhaustiveness: a switch over an enum-like named type must cover
 //     every declared constant or carry a default clause, so adding an
 //     enum value cannot silently fall through a protocol dispatch.
+//   - obs hooks: observability hook calls (obs.Tracer methods) inside
+//     loop bodies must be nil-guarded so disabled observability costs
+//     one pointer check, and interface-boxing hooks (Annotate) must
+//     never run in a loop at all.
 //
 // The driver is stdlib-only: packages are resolved and compiled by the
 // go tool (go list -export), parsed with go/parser, and type-checked
@@ -134,6 +138,7 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 		checkUnits(p)
 		checkPanics(p)
 		checkExhaustive(p)
+		checkObsHooks(p)
 	}
 
 	sort.Slice(diags, func(i, j int) bool {

@@ -30,6 +30,7 @@ func TestFixtureFindings(t *testing.T) {
 		{"badpanic", "panics", 3},
 		{"badunits", "units", 2},
 		{"badswitch", "exhaustive", 1},
+		{"badobs", "obshooks", 2},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -68,6 +69,7 @@ func TestFixtureFindingsAnchored(t *testing.T) {
 		{"badpanic", []int{11, 14, 17}},
 		{"badunits", []int{18, 23}},
 		{"badswitch", []int{18}},
+		{"badobs", []int{18, 27}},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {

@@ -15,6 +15,11 @@ type MSHR struct {
 // MSHREntry tracks one outstanding transaction on a block.
 type MSHREntry struct {
 	Block uint64
+	// AllocAt records the allocation cycle (plain uint64 so the cache
+	// package stays independent of the simulation kernel). The L1
+	// controller stamps it and reads it back when the entry frees, for
+	// MSHR-residency statistics; the protocol itself never uses it.
+	AllocAt uint64
 	// IsWrite records whether the original demand was a store.
 	IsWrite bool
 	// PendingAcks counts invalidation acks still expected before the

@@ -12,7 +12,9 @@ import "fmt"
 // value preserves old behavior) do not need a bump: stale cache
 // entries are only a correctness problem when identical keys could map
 // to different results. See DESIGN.md §9 for the invalidation rules.
-const SimVersion = "tilesim-sim-v2"
+// v3: Result gained the Metrics snapshot (internal/obs) and histogram
+// percentile queries now clamp into the exact observed [min, max].
+const SimVersion = "tilesim-sim-v3"
 
 // Canonical returns a stable one-line encoding of every
 // simulation-relevant field of the configuration. Two configurations

@@ -14,6 +14,7 @@ import (
 	"tilesim/internal/energy"
 	"tilesim/internal/mesh"
 	"tilesim/internal/noc"
+	"tilesim/internal/obs"
 	"tilesim/internal/sim"
 	"tilesim/internal/workload"
 )
@@ -148,6 +149,12 @@ type Result struct {
 	// window-scoped: percentile sketches do not subtract).
 	RequestLatencyP50 float64
 	RequestLatencyP99 float64
+
+	// Metrics is the full observability snapshot at end of run
+	// (internal/obs): per-link utilization, latency breakdowns, MSHR
+	// residency, compression pipeline. Deterministic for a fixed
+	// config+seed; rides along in cached sweep results.
+	Metrics obs.Snapshot
 }
 
 // LinkED2P returns the link energy-delay^2 product.
@@ -167,6 +174,9 @@ type System struct {
 	cores []*Core
 	bar   *barrier
 	warm  *barrier
+
+	registry *obs.Registry
+	tracer   *obs.Tracer
 
 	warmCycles sim.Time
 	warmDyn    energy.DynSnapshot
@@ -304,6 +314,9 @@ func (s *System) Run() (Result, error) {
 	for _, c := range s.cores {
 		c.start()
 	}
+	if s.tracer != nil {
+		s.startCounterPoller()
+	}
 	s.K.Run(nil)
 
 	var execCycles sim.Time
@@ -352,6 +365,7 @@ func (s *System) Run() (Result, error) {
 	}
 	r.RequestLatencyP50 = s.Net.LatencyPercentile(noc.ClassRequest, 0.50)
 	r.RequestLatencyP99 = s.Net.LatencyPercentile(noc.ClassRequest, 0.99)
+	r.Metrics = s.Registry().Snapshot()
 	return r, nil
 }
 

@@ -1,0 +1,200 @@
+package cmp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tilesim/internal/compress"
+	"tilesim/internal/obs"
+)
+
+func obsCfg() RunConfig {
+	return RunConfig{
+		App:           "FFT",
+		RefsPerCore:   300,
+		Seed:          11,
+		Compression:   compress.Spec{Kind: "stride", LowOrderBytes: 2},
+		Heterogeneous: true,
+	}
+}
+
+// TestMetricsSnapshotAttached checks Run populates Result.Metrics with
+// the full stack's metrics and that the acceptance invariant holds:
+// the per-class latency breakdown components sum exactly to the
+// end-to-end totals.
+func TestMetricsSnapshotAttached(t *testing.T) {
+	r, err := Run(obsCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Metrics) == 0 {
+		t.Fatal("Result.Metrics empty")
+	}
+	for _, want := range []string{
+		"sim.events", "sim.cycles",
+		"net.msgs.requests", "net.hop_wait",
+		"coh.l1.loads", "coh.mshr.residency",
+		"mgr.compressible", "mgr.coverage",
+	} {
+		if _, ok := r.Metrics[want]; !ok {
+			t.Errorf("metric %q missing from snapshot", want)
+		}
+	}
+
+	// Per-link metrics exist and at least one link carried traffic.
+	var linkFlits uint64
+	for name, m := range r.Metrics {
+		if strings.HasPrefix(name, "net.link.") && strings.HasSuffix(name, ".flits") {
+			linkFlits += m.Count
+		}
+	}
+	if linkFlits == 0 {
+		t.Error("no link carried any flits")
+	}
+
+	// Exact breakdown: total == router+queue+wire+serialize per class,
+	// and the request-class total matches the latency mean's sum.
+	classes := []string{"requests", "responses", "coherence_commands",
+		"coherence_replies", "replacements"}
+	for _, slug := range classes {
+		total := r.Metrics["net.breakdown."+slug+".total_cycles"].Count
+		parts := r.Metrics["net.breakdown."+slug+".router_cycles"].Count +
+			r.Metrics["net.breakdown."+slug+".queue_cycles"].Count +
+			r.Metrics["net.breakdown."+slug+".wire_cycles"].Count +
+			r.Metrics["net.breakdown."+slug+".serialize_cycles"].Count
+		if total != parts {
+			t.Errorf("breakdown %s: total %d != components %d", slug, total, parts)
+		}
+		lat := r.Metrics["net.lat."+slug]
+		if sum := lat.Mean * float64(lat.Count); uint64(sum+0.5) != total {
+			t.Errorf("breakdown %s: total %d disagrees with latency sum %v", slug, total, sum)
+		}
+	}
+}
+
+// TestMetricsByteIdentical serializes the metrics of two same-seed
+// runs and requires byte equality (the CI obs-smoke assertion, run
+// in-process).
+func TestMetricsByteIdentical(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		r, err := Run(obsCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Metrics.WriteJSON(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatal("same-seed metrics JSON differs between runs")
+	}
+	var parsed map[string]map[string]any
+	if err := json.Unmarshal(bufs[0].Bytes(), &parsed); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+}
+
+// TestTracerDoesNotChangeResults attaches a tracer (with its counter
+// poller) and requires the simulation fingerprint to match an
+// untraced run: observation must never feed back into timing.
+func TestTracerDoesNotChangeResults(t *testing.T) {
+	plain, err := Run(obsCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := NewSystem(obsCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf, 4)
+	sys.SetTracer(tr)
+	traced, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if fingerprintOf(plain) != fingerprintOf(traced) {
+		t.Errorf("tracer changed the simulation:\n  plain:  %+v\n  traced: %+v",
+			fingerprintOf(plain), fingerprintOf(traced))
+	}
+
+	// The trace itself is a valid Chrome trace-event document with all
+	// three processes and the sampled counter tracks.
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace invalid JSON: %v", err)
+	}
+	seen := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Ph]++
+	}
+	for _, ph := range []string{"M", "b", "e", "X", "C"} {
+		if seen[ph] == 0 {
+			t.Errorf("trace has no %q events (got %v)", ph, seen)
+		}
+	}
+
+	// Sampling stride 4: lifecycle spans cover ~1/4 of messages.
+	msgs := traced.Net.TotalMessages() // window may differ from total; compare loosely
+	if b := seen["b"]; uint64(b) > msgs || b == 0 {
+		t.Errorf("sampled %d lifecycle spans of %d messages", b, msgs)
+	}
+}
+
+// TestTraceByteIdentical requires two same-seed traced runs to emit
+// byte-identical trace files: nothing wall-clock may leak in.
+func TestTraceByteIdentical(t *testing.T) {
+	run := func() []byte {
+		sys, err := NewSystem(obsCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tr := obs.NewTracer(&buf, 8)
+		sys.SetTracer(tr)
+		if _, err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("same-seed traces differ byte-wise")
+	}
+}
+
+// TestRequestPercentilesBracketMean sanity-checks the clamped
+// histogram percentiles surfaced in Result.
+func TestRequestPercentilesBracketMean(t *testing.T) {
+	r, err := Run(obsCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := r.Metrics["net.lat.requests"]
+	if r.RequestLatencyP50 < lat.Min || r.RequestLatencyP50 > lat.Max {
+		t.Errorf("p50 %v outside [%v, %v]", r.RequestLatencyP50, lat.Min, lat.Max)
+	}
+	if r.RequestLatencyP99 < r.RequestLatencyP50 || r.RequestLatencyP99 > lat.Max {
+		t.Errorf("p99 %v outside [p50 %v, max %v]", r.RequestLatencyP99, r.RequestLatencyP50, lat.Max)
+	}
+	if hist, ok := r.Metrics["net.lat.requests.hist"]; !ok || hist.P50 != r.RequestLatencyP50 {
+		t.Errorf("snapshot p50 %v disagrees with Result %v", hist.P50, r.RequestLatencyP50)
+	}
+}

@@ -34,7 +34,9 @@ import (
 	"math/bits"
 
 	"tilesim/internal/noc"
+	"tilesim/internal/obs"
 	"tilesim/internal/sim"
+	"tilesim/internal/stats"
 )
 
 // Sender injects a protocol message into the transport. The transport
@@ -103,6 +105,11 @@ type Protocol struct {
 	homes []*HomeController
 
 	nextTxn uint64
+
+	// Observability (obs.go): optional tracer and the chip-wide
+	// MSHR-residency distribution. Reads only; never affects timing.
+	tracer        *obs.Tracer
+	mshrResidency stats.Mean
 }
 
 // New builds the protocol. send is invoked for every outgoing message

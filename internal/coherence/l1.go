@@ -27,6 +27,9 @@ type L1Controller struct {
 	Interventions           stats.Counter
 	Invalidations           stats.Counter
 	MissLatency             stats.Mean
+	// MSHRResidency measures allocation-to-free lifetimes of this
+	// tile's MSHR entries (demand misses and writeback buffering).
+	MSHRResidency stats.Mean
 }
 
 func newL1Controller(p *Protocol, id int) *L1Controller {
@@ -108,16 +111,28 @@ func (l *L1Controller) startMiss(block uint64, req noc.Type, done func()) {
 	e := l.mshr.Allocate(block)
 	e.IsWrite = req != noc.GetS
 	start := l.p.k.Now()
+	e.AllocAt = uint64(start)
+	// Sampling decision for the miss's trace span happens at allocation
+	// so the id sequence (and so which misses are traced) is fixed by
+	// simulation order, independent of completion interleaving.
+	var spanID uint64
+	if l.p.tracer != nil {
+		if id, sampled := l.p.tracer.NextID(); sampled {
+			spanID = id
+		}
+	}
+	finish := func() {
+		l.MissLatency.Observe(float64(l.p.k.Now() - start))
+		if l.p.tracer != nil && spanID != 0 {
+			l.traceMiss(req, block, start)
+		}
+	}
 	if l.p.cfg.ReplyPartitioning {
 		// The core resumes as soon as the critical word and all acks
 		// are in; the full line install happens off its back.
-		e.PartialWaiters = append(e.PartialWaiters, done, func() {
-			l.MissLatency.Observe(float64(l.p.k.Now() - start))
-		})
+		e.PartialWaiters = append(e.PartialWaiters, done, finish)
 	} else {
-		e.Waiters = append(e.Waiters, done, func() {
-			l.MissLatency.Observe(float64(l.p.k.Now() - start))
-		})
+		e.Waiters = append(e.Waiters, done, finish)
 	}
 	home := HomeOf(block, l.p.cfg.Tiles)
 	m := l.p.msg(req, l.id, home, block, l.p.txn())
@@ -254,7 +269,7 @@ func (l *L1Controller) maybeComplete(block uint64, e *cache.MSHREntry) {
 		home := HomeOf(block, l.p.cfg.Tiles)
 		l.p.send(l.p.msg(noc.OwnAck, l.id, home, block, l.p.txn()))
 	}
-	for _, w := range l.mshr.Free(block) {
+	for _, w := range l.freeEntry(block, e) {
 		w()
 	}
 	if relinquish {
@@ -313,6 +328,7 @@ func (l *L1Controller) evictLine(v *cache.Line) {
 	}
 	e := l.mshr.AllocateOver(block)
 	e.WritebackData = true
+	e.AllocAt = uint64(l.p.k.Now())
 	e.Dirty = st == cache.Modified
 	home := HomeOf(block, l.p.cfg.Tiles)
 	var m *noc.Message
@@ -431,7 +447,16 @@ func (l *L1Controller) onWBAck(m *noc.Message) {
 	if e == nil || !e.WritebackData {
 		panic(fmt.Sprintf("coherence: L1 %d stray WBAck for %#x", l.id, block))
 	}
-	for _, w := range l.mshr.Free(block) {
+	for _, w := range l.freeEntry(block, e) {
 		w()
 	}
+}
+
+// freeEntry releases the MSHR entry for block, recording its
+// allocation-to-free residency (per-tile and chip-wide).
+func (l *L1Controller) freeEntry(block uint64, e *cache.MSHREntry) []func() {
+	res := float64(uint64(l.p.k.Now()) - e.AllocAt)
+	l.MSHRResidency.Observe(res)
+	l.p.mshrResidency.Observe(res)
+	return l.mshr.Free(block)
 }

@@ -1,0 +1,20 @@
+package core
+
+import "tilesim/internal/obs"
+
+// RegisterMetrics installs the message manager's counters in a
+// registry under the "mgr." prefix (DESIGN.md §10 naming): the
+// compression hit/miss pipeline and the plane-steering decision
+// counts.
+func (m *Manager) RegisterMetrics(r *obs.Registry) {
+	r.Counter("mgr.compressible", m.Compressible.Value)
+	r.Counter("mgr.compressed", m.Compressed.Value)
+	r.Counter("mgr.vl_messages", m.VLMessages.Value)
+	r.Counter("mgr.b_messages", m.BMessages.Value)
+	r.Counter("mgr.pw_messages", m.PWMessages.Value)
+	r.Counter("mgr.local_messages", m.LocalMsgs.Value)
+	r.Counter("mgr.saved_bytes", m.SavedBytes.Value)
+	r.Gauge("mgr.coverage", m.Coverage)
+	r.Gauge("mgr.vl_fraction", m.VLFraction)
+	r.Gauge("mgr.pw_fraction", m.PWFraction)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tilesim/internal/noc"
+	"tilesim/internal/obs"
 	"tilesim/internal/sim"
 	"tilesim/internal/stats"
 	"tilesim/internal/wire"
@@ -185,6 +186,14 @@ type Network struct {
 	msgs    [noc.NumClasses]stats.Counter
 	bytes   [noc.NumClasses]stats.Counter
 	hopWait stats.Mean // queueing cycles per hop, congestion signal
+
+	// planeFlits accumulates flit-cycles per plane across all links,
+	// the occupancy time series the tracer's counter poller samples.
+	planeFlits [numPlanes]stats.Counter
+	// breakdown decomposes delivered-message latency exactly (obs.go).
+	breakdown [noc.NumClasses]LatencyBreakdown
+
+	tracer *obs.Tracer
 }
 
 // New builds a network on kernel k. obs may be nil.
@@ -283,7 +292,39 @@ func (n *Network) Send(m *noc.Message) {
 	injected := n.k.Now()
 	flits := noc.Flits(m.SizeBytes, n.cfg.Channels[plane].WidthBytes)
 	n.byPlane[plane].Inc()
-	n.hop(m, plane, injected, m.Src, route, 0, flits)
+	var traceID uint64
+	if n.tracer != nil {
+		if id, sampled := n.tracer.NextID(); sampled {
+			traceID = id
+			n.tracer.Begin(obs.PidMessages, id, m.Type.String(),
+				classSlug(noc.ClassOf(m.Type)), uint64(injected))
+		}
+	}
+	n.hop(&transit{
+		m: m, route: route, injected: injected, at: m.Src,
+		flits: flits, plane: plane, traceID: traceID,
+	})
+}
+
+// transit is one message's in-flight state, allocated once at Send so
+// the per-hop event closures capture a single pointer instead of the
+// whole argument list (the hop path dominates the simulator's
+// allocation volume). The kernel is single-threaded, so hops may
+// mutate it in place.
+type transit struct {
+	m        *noc.Message
+	route    []int
+	injected sim.Time
+	// waited accumulates output-channel queueing across hops so
+	// delivery can decompose the end-to-end latency exactly.
+	waited sim.Time
+	at     int
+	idx    int
+	flits  noc.FlitCount
+	plane  Plane
+	// traceID is the sampled lifecycle span id (0 when untraced or
+	// unsampled).
+	traceID uint64
 }
 
 // routeOf computes the XY route for a validated message. An empty
@@ -297,14 +338,14 @@ func (n *Network) routeOf(m *noc.Message) []int {
 	return route
 }
 
-// hop models the head flit leaving tile `at` toward route[idx].
-func (n *Network) hop(m *noc.Message, plane Plane, injected sim.Time, at int, route []int, idx int, flits noc.FlitCount) {
-	next := route[idx]
-	planes := n.channels[n.linkIndex(at, next)]
+// hop models the head flit leaving tile t.at toward t.route[t.idx].
+func (n *Network) hop(t *transit) {
+	next := t.route[t.idx]
+	planes := n.channels[n.linkIndex(t.at, next)]
 	if planes == nil {
-		panic(fmt.Sprintf("mesh: no link %d->%d", at, next))
+		panic(fmt.Sprintf("mesh: no link %d->%d", t.at, next))
 	}
-	ch := planes[plane]
+	ch := planes[t.plane]
 	// Router pipeline, then wait for the output channel.
 	ready := n.k.Now() + sim.Time(n.cfg.RouterLatency)
 	start := ready
@@ -312,33 +353,41 @@ func (n *Network) hop(m *noc.Message, plane Plane, injected sim.Time, at int, ro
 		start = ch.nextFree
 	}
 	n.hopWait.Observe(float64(start - ready))
-	ch.nextFree = start + sim.Time(flits)
-	ch.flits.Add(uint64(flits))
-	ch.busy.Add(uint64(flits))
+	t.waited += start - ready
+	ch.nextFree = start + sim.Time(t.flits)
+	ch.flits.Add(uint64(t.flits))
+	ch.busy.Add(uint64(t.flits))
+	n.planeFlits[t.plane].Add(uint64(t.flits))
 	if n.obs != nil {
-		n.obs.RouterHop(m.SizeBytes, flits)
-		n.obs.LinkTraversal(ch.cfg.Kind, n.cfg.LinkLengthM, m.SizeBytes, flits)
+		n.obs.RouterHop(t.m.SizeBytes, t.flits)
+		n.obs.LinkTraversal(ch.cfg.Kind, n.cfg.LinkLengthM, t.m.SizeBytes, t.flits)
+	}
+	if n.tracer != nil && t.traceID != 0 {
+		n.traceLinkOccupancy(t.m, t.plane, t.at, next, start, t.flits)
 	}
 	headArrives := start + sim.Time(ch.cycles)
 	n.k.ScheduleAt(headArrives, func() {
-		if next == m.Dst {
+		if next == t.m.Dst {
 			// Final router pipeline plus tail serialization.
-			deliver := n.k.Now() + sim.Time(n.cfg.RouterLatency) + sim.Time(flits-1)
-			n.k.ScheduleAt(deliver, func() { n.deliver(m, injected) })
+			deliver := n.k.Now() + sim.Time(n.cfg.RouterLatency) + sim.Time(t.flits-1)
+			n.k.ScheduleAt(deliver, func() { n.deliver(t) })
 			return
 		}
-		n.hop(m, plane, injected, next, route, idx+1, flits)
+		t.at, t.idx = next, t.idx+1
+		n.hop(t)
 	})
 }
 
-func (n *Network) deliver(m *noc.Message, injected sim.Time) {
+func (n *Network) deliver(t *transit) {
+	m := t.m
 	n.inFlight--
 	class := noc.ClassOf(m.Type)
-	lat := float64(n.k.Now() - injected)
+	lat := float64(n.k.Now() - t.injected)
 	n.latency[class].Observe(lat)
 	n.latHist[class].Observe(lat)
 	n.msgs[class].Inc()
 	n.bytes[class].Add(uint64(m.SizeBytes))
+	n.recordBreakdown(m, class, t.injected, t.plane, t.flits, len(t.route), t.waited, t.traceID)
 	h := n.handlers[m.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("mesh: no handler at tile %d for %v", m.Dst, m.Type))

@@ -1,0 +1,174 @@
+package mesh
+
+import (
+	"fmt"
+	"strings"
+
+	"tilesim/internal/noc"
+	"tilesim/internal/obs"
+	"tilesim/internal/sim"
+	"tilesim/internal/stats"
+)
+
+// LatencyBreakdown decomposes delivered-message latency into the four
+// stages of a mesh transit — router pipelines, output-channel queueing,
+// wire flight, and tail serialization — as exact cycle sums, so for
+// every class
+//
+//	Total == Router + Queue + Wire + Serialize
+//
+// holds to the cycle (the obs integration test asserts it). The stages
+// follow the timing model of hop/deliver: a message crossing H links
+// pays (H+1) router pipelines, its accumulated channel waits, H wire
+// traversals, and flits-1 cycles of tail serialization.
+type LatencyBreakdown struct {
+	// Messages counts delivered messages in this class.
+	Messages uint64
+	// Total is the summed inject->eject latency in cycles.
+	Total uint64
+	// Router is the summed router-pipeline occupancy in cycles.
+	Router uint64
+	// Queue is the summed output-channel wait in cycles.
+	Queue uint64
+	// Wire is the summed head-flit wire-flight time in cycles.
+	Wire uint64
+	// Serialize is the summed tail-serialization time in cycles.
+	Serialize uint64
+}
+
+// ComponentsSum returns Router+Queue+Wire+Serialize, which must equal
+// Total exactly.
+func (b LatencyBreakdown) ComponentsSum() uint64 {
+	return b.Router + b.Queue + b.Wire + b.Serialize
+}
+
+// Breakdown returns the accumulated latency decomposition for a class.
+func (n *Network) Breakdown(c noc.Class) LatencyBreakdown {
+	return n.breakdown[c]
+}
+
+// PlaneFlits returns the cumulative flit-cycles carried on a plane
+// across all links.
+func (n *Network) PlaneFlits(p Plane) uint64 {
+	return n.planeFlits[p].Value()
+}
+
+// SetTracer attaches a message-lifecycle tracer. Must be called before
+// the first Send; a nil tracer (the default) makes every hook a single
+// pointer check.
+func (n *Network) SetTracer(t *obs.Tracer) { n.tracer = t }
+
+// classSlug renders a message class as a metric-name segment
+// ("coherence commands" -> "coherence_commands").
+func classSlug(c noc.Class) string {
+	return strings.ReplaceAll(c.String(), " ", "_")
+}
+
+// recordBreakdown accumulates the exact latency decomposition of one
+// delivered message and closes its lifecycle span if sampled.
+//
+// All components except Wire are accumulated from first principles
+// (pipeline depth, measured waits, flit count); Wire is the residual,
+// which by the hop timing model equals hops x channel-traversal cycles
+// and guarantees the components always sum exactly to Total.
+func (n *Network) recordBreakdown(m *noc.Message, class noc.Class, injected sim.Time, plane Plane, flits noc.FlitCount, hops int, waited sim.Time, traceID uint64) {
+	total := uint64(n.k.Now() - injected)
+	router := uint64(hops+1) * uint64(n.cfg.RouterLatency)
+	serialize := uint64(flits - 1)
+	queue := uint64(waited)
+	wire := total - router - serialize - queue
+
+	bd := &n.breakdown[class]
+	bd.Messages++
+	bd.Total += total
+	bd.Router += router
+	bd.Queue += queue
+	bd.Wire += wire
+	bd.Serialize += serialize
+
+	if n.tracer != nil && traceID != 0 {
+		n.tracer.End(obs.PidMessages, traceID, m.Type.String(), classSlug(class),
+			uint64(n.k.Now()), []obs.Arg{
+				{Key: "hops", Val: float64(hops)},
+				{Key: "flits", Val: float64(flits)},
+				{Key: "plane", Val: float64(plane)},
+				{Key: "bytes", Val: float64(m.SizeBytes)},
+				{Key: "router_cycles", Val: float64(router)},
+				{Key: "queue_cycles", Val: float64(queue)},
+				{Key: "wire_cycles", Val: float64(wire)},
+				{Key: "serialize_cycles", Val: float64(serialize)},
+			})
+	}
+}
+
+// traceLinkOccupancy emits one complete-span event on the link's track
+// covering the cycles the message's flits occupy the channel. Only
+// called for sampled messages with a tracer attached (hop guards).
+func (n *Network) traceLinkOccupancy(m *noc.Message, plane Plane, from, to int, start sim.Time, flits noc.FlitCount) {
+	tid := n.linkIndex(from, to)*int(numPlanes) + int(plane)
+	n.tracer.SetTrackName(obs.PidLinks, tid,
+		fmt.Sprintf("%02d->%02d.%s", from, to, plane))
+	n.tracer.Complete(obs.PidLinks, tid, m.Type.String(), "link",
+		uint64(start), uint64(flits), []obs.Arg{
+			{Key: "flits", Val: float64(flits)},
+			{Key: "bytes", Val: float64(m.SizeBytes)},
+		})
+}
+
+// RegisterMetrics installs the network's counters in a registry under
+// the "net." prefix (DESIGN.md §10 naming):
+//
+//	net.msgs.<class> / net.bytes.<class>    delivered traffic
+//	net.lat.<class>                         end-to-end latency distribution
+//	net.breakdown.<class>.<stage>_cycles    exact latency decomposition
+//	net.plane.<plane>.{msgs,flits}          per-plane traffic
+//	net.link.<ff>-><tt>.<plane>.{flits,util} per directed link
+//	net.hop_wait / net.inflight             congestion signals
+func (n *Network) RegisterMetrics(r *obs.Registry) {
+	for c := noc.Class(0); c < noc.NumClasses; c++ {
+		slug := classSlug(c)
+		r.Counter("net.msgs."+slug, n.msgs[c].Value)
+		r.Counter("net.bytes."+slug, n.bytes[c].Value)
+		r.Mean("net.lat."+slug, &n.latency[c])
+		r.Histogram("net.lat."+slug+".hist", n.latHist[c])
+		bd := &n.breakdown[c]
+		r.Counter("net.breakdown."+slug+".total_cycles", func() uint64 { return bd.Total })
+		r.Counter("net.breakdown."+slug+".router_cycles", func() uint64 { return bd.Router })
+		r.Counter("net.breakdown."+slug+".queue_cycles", func() uint64 { return bd.Queue })
+		r.Counter("net.breakdown."+slug+".wire_cycles", func() uint64 { return bd.Wire })
+		r.Counter("net.breakdown."+slug+".serialize_cycles", func() uint64 { return bd.Serialize })
+	}
+	for p := Plane(0); p < numPlanes; p++ {
+		if !n.HasPlane(p) {
+			continue
+		}
+		r.Counter("net.plane."+p.String()+".msgs", n.byPlane[p].Value)
+		r.Counter("net.plane."+p.String()+".flits", n.planeFlits[p].Value)
+	}
+	r.Mean("net.hop_wait", &n.hopWait)
+	r.Gauge("net.inflight", func() float64 { return float64(n.inFlight) })
+	// The channels slice is in deterministic link order; per-link names
+	// are unique, so registration cannot collide.
+	tiles := n.topo.Tiles()
+	for from := 0; from < tiles; from++ {
+		for to := 0; to < tiles; to++ {
+			planes := n.channels[n.linkIndex(from, to)]
+			if planes == nil {
+				continue
+			}
+			for p := Plane(0); p < numPlanes; p++ {
+				ch := planes[p]
+				if ch == nil {
+					continue
+				}
+				name := fmt.Sprintf("net.link.%02d->%02d.%s", from, to, p)
+				r.Counter(name+".flits", ch.flits.Value)
+				// Utilization: fraction of elapsed cycles the channel
+				// carried flits, read against the clock at snapshot time.
+				r.Gauge(name+".util", func() float64 {
+					return stats.Ratio(float64(ch.busy.Value()), float64(n.k.Now()))
+				})
+			}
+		}
+	}
+}

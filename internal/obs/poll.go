@@ -1,0 +1,35 @@
+package obs
+
+import "tilesim/internal/sim"
+
+// PollCounters schedules fn every interval cycles for as long as the
+// kernel has other work queued. It is the glue between time-series
+// trace output (Tracer.Counter events for link occupancy, MSHR
+// residency, ...) and the event-driven kernel, which has no notion of
+// periodic sampling on its own.
+//
+// The poller must never keep a drained simulation alive: when its
+// callback fires it has already been popped from the queue, so
+// Pending() counts only real simulation work, and the poller
+// reschedules only while that is non-zero. It can therefore trail the
+// final simulation event by at most one interval (when the last real
+// event ties its sample cycle), never more; reported results are
+// unaffected because cmp derives execution time from core completion
+// cycles, not from the kernel clock at drain.
+//
+// The callback runs inside the kernel like any other event, but must
+// only read state — feeding observations back into the simulation
+// would make results depend on whether tracing is enabled.
+func PollCounters(k *sim.Kernel, interval sim.Time, fn func(now sim.Time)) {
+	if interval == 0 {
+		interval = 1
+	}
+	var tick func()
+	tick = func() {
+		fn(k.Now())
+		if k.Pending() > 0 {
+			k.Schedule(interval, tick)
+		}
+	}
+	k.Schedule(interval, tick)
+}

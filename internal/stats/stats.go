@@ -164,17 +164,25 @@ func (h *Histogram) N() uint64 { return h.mean.N() }
 // Mean returns the exact running mean of all samples.
 func (h *Histogram) Mean() float64 { return h.mean.Value() }
 
+// Min returns the exact minimum sample (0 with no samples).
+func (h *Histogram) Min() float64 { return h.mean.Min() }
+
 // Max returns the exact maximum sample.
 func (h *Histogram) Max() float64 { return h.mean.Max() }
 
 // Percentile returns an upper bound for the p-th percentile (p in [0,1])
-// at bucket resolution. Overflow samples report the exact observed max.
+// at bucket resolution, clamped into the exact observed [min, max] range
+// so a query can never report a value outside the sample set: p0 is the
+// exact minimum, p100 never exceeds the exact maximum (bucket upper
+// bounds would otherwise overshoot both on sparse streams — a one-sample
+// histogram used to report bucketWidth for every percentile). Overflow
+// samples report the exact observed max.
 func (h *Histogram) Percentile(p float64) float64 {
 	if h.mean.N() == 0 {
 		return 0
 	}
-	if p < 0 {
-		p = 0
+	if p <= 0 {
+		return h.mean.Min()
 	}
 	if p > 1 {
 		p = 1
@@ -187,7 +195,14 @@ func (h *Histogram) Percentile(p float64) float64 {
 	for i, c := range h.buckets {
 		cum += c
 		if cum >= target {
-			return float64(i+1) * h.bucketWidth
+			bound := float64(i+1) * h.bucketWidth
+			if bound > h.mean.Max() {
+				bound = h.mean.Max()
+			}
+			if bound < h.mean.Min() {
+				bound = h.mean.Min()
+			}
+			return bound
 		}
 	}
 	return h.mean.Max()

@@ -77,6 +77,51 @@ func TestMeanMatchesDirectProperty(t *testing.T) {
 	}
 }
 
+// TestMeanSingleSample pins the min/max behavior of a one-sample
+// stream: both must be the sample itself, even when it is negative or
+// zero (a sign-based initialization would get these wrong).
+func TestMeanSingleSample(t *testing.T) {
+	for _, x := range []float64{7.5, -3.25, 0} {
+		var m Mean
+		m.Observe(x)
+		if m.N() != 1 {
+			t.Fatalf("n = %d, want 1", m.N())
+		}
+		if m.Min() != x || m.Max() != x {
+			t.Errorf("single sample %v: min,max = %v,%v, want both %v", x, m.Min(), m.Max(), x)
+		}
+		if m.Value() != x {
+			t.Errorf("single sample %v: mean = %v", x, m.Value())
+		}
+		if m.Variance() != 0 {
+			t.Errorf("single sample %v: variance = %v, want 0", x, m.Variance())
+		}
+	}
+}
+
+// Property: min and max always bracket the mean and equal some sample.
+func TestMeanMinMaxProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var m Mean
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			m.Observe(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if len(xs) == 0 {
+			return m.Min() == 0 && m.Max() == 0
+		}
+		return m.Min() == lo && m.Max() == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRatio(t *testing.T) {
 	if Ratio(10, 4) != 2.5 {
 		t.Fatal("Ratio(10,4)")
@@ -148,6 +193,78 @@ func TestHistogramNegativeClamps(t *testing.T) {
 	if h.Percentile(1.0) > 1 {
 		t.Fatalf("negative sample should land in bucket 0")
 	}
+}
+
+// TestHistogramPercentileEdges covers the degenerate queries: empty
+// histogram, a single bucket, single sample, and the p0/p100 endpoints.
+func TestHistogramPercentileEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := NewHistogram(8, 1)
+		for _, p := range []float64{0, 0.5, 1} {
+			if got := h.Percentile(p); got != 0 {
+				t.Errorf("empty histogram p%v = %v, want 0", p, got)
+			}
+		}
+		if h.Min() != 0 || h.Max() != 0 {
+			t.Errorf("empty histogram min,max = %v,%v", h.Min(), h.Max())
+		}
+	})
+	t.Run("one bucket", func(t *testing.T) {
+		h := NewHistogram(1, 10)
+		h.Observe(3)
+		h.Observe(7)
+		if got := h.Percentile(0); got != 3 {
+			t.Errorf("p0 = %v, want exact min 3", got)
+		}
+		// The bucket's upper bound is 10; the exact max is 7. Queries
+		// must never report a value larger than any sample.
+		for _, p := range []float64{0.5, 0.99, 1} {
+			if got := h.Percentile(p); got != 7 {
+				t.Errorf("p%v = %v, want clamped max 7", p, got)
+			}
+		}
+	})
+	t.Run("single sample", func(t *testing.T) {
+		h := NewHistogram(4, 25)
+		h.Observe(13)
+		for _, p := range []float64{0, 0.5, 1} {
+			if got := h.Percentile(p); got != 13 {
+				t.Errorf("single-sample p%v = %v, want 13", p, got)
+			}
+		}
+		if h.Min() != 13 || h.Max() != 13 {
+			t.Errorf("single-sample min,max = %v,%v, want 13,13", h.Min(), h.Max())
+		}
+	})
+	t.Run("p0 and p100 with spread", func(t *testing.T) {
+		h := NewHistogram(100, 1)
+		h.Observe(2.5)
+		h.Observe(41.5)
+		h.Observe(97.25)
+		if got := h.Percentile(0); got != 2.5 {
+			t.Errorf("p0 = %v, want exact min 2.5", got)
+		}
+		if got := h.Percentile(1); got != 97.25 {
+			t.Errorf("p100 = %v, want exact max 97.25", got)
+		}
+		// Out-of-range p clamps rather than panicking.
+		if got := h.Percentile(-0.5); got != 2.5 {
+			t.Errorf("p<0 = %v, want min", got)
+		}
+		if got := h.Percentile(1.5); got != 97.25 {
+			t.Errorf("p>1 = %v, want max", got)
+		}
+	})
+	t.Run("negative samples clamp but report exactly", func(t *testing.T) {
+		h := NewHistogram(4, 1)
+		h.Observe(-3)
+		if got := h.Percentile(1); got != -3 {
+			t.Errorf("p100 = %v, want exact max -3", got)
+		}
+		if got := h.Percentile(0); got != -3 {
+			t.Errorf("p0 = %v, want exact min -3", got)
+		}
+	})
 }
 
 func TestHistogramBadArgsPanic(t *testing.T) {

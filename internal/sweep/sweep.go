@@ -52,6 +52,12 @@ type Runner struct {
 	// the callback may safely write a progress line. It must not call
 	// back into the Runner.
 	Progress func(done, total int)
+	// OnResult, when non-nil, is called once per job after the whole
+	// batch completes, in submission order, cached and duplicate jobs
+	// included. Use it to harvest per-run observability (each Result
+	// carries its metrics snapshot) without re-walking the batch. It
+	// must not call back into the Runner.
+	OnResult func(JobResult)
 
 	// runFn is the simulation entry point; tests substitute it to
 	// count or fake simulate calls. nil means cmp.Run.
@@ -144,6 +150,11 @@ func (r *Runner) Run(cfgs []cmp.RunConfig) []JobResult {
 	for i := range cfgs {
 		if p := primary[i]; p != i {
 			out[i].Result, out[i].Err, out[i].Cached = out[p].Result, out[p].Err, true
+		}
+	}
+	if r.OnResult != nil {
+		for i := range out {
+			r.OnResult(out[i])
 		}
 	}
 	return out

@@ -335,3 +335,68 @@ func TestProgressReporting(t *testing.T) {
 		t.Errorf("final progress %d, want %d", last, len(cfgs))
 	}
 }
+
+// TestOnResultOrderAndCoverage: the harvest callback fires once per
+// submitted job in submission order — cached and duplicate slots
+// included — and every successful result carries its metrics snapshot.
+func TestOnResultOrderAndCoverage(t *testing.T) {
+	cfgs := tinyGrid()
+	cfgs = append(cfgs, cfgs[1]) // duplicate -> Cached slot
+	var seen []int
+	r := &Runner{Jobs: 4, Cache: NewMemCache(), OnResult: func(jr JobResult) {
+		seen = append(seen, jr.Index)
+		if jr.Err == nil && len(jr.Result.Metrics) == 0 {
+			t.Errorf("job %d: result has no metrics snapshot", jr.Index)
+		}
+	}}
+	out := r.Run(cfgs)
+	if err := Err(out); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(cfgs) {
+		t.Fatalf("OnResult fired %d times, want %d", len(seen), len(cfgs))
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("OnResult order %v not submission order", seen)
+		}
+	}
+	if !out[len(out)-1].Cached {
+		t.Fatal("duplicate slot not marked Cached")
+	}
+}
+
+// TestMetricsSurviveDiskCache: the snapshot attached to a Result must
+// round-trip through the JSON disk cache unchanged, so sidecar files
+// generated from warm-cache runs match cold runs.
+func TestMetricsSurviveDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tiny("FFT", 3, compress.Spec{Kind: "none"})
+
+	cache1, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Results((&Runner{Jobs: 1, Cache: cache1}).Run([]cmp.RunConfig{cfg}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache2, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJobs := (&Runner{Jobs: 1, Cache: cache2}).Run([]cmp.RunConfig{cfg})
+	warm, err := Results(warmJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmJobs[0].Cached {
+		t.Fatal("second run did not hit the disk cache")
+	}
+	if len(warm[0].Metrics) == 0 {
+		t.Fatal("cached result lost its metrics snapshot")
+	}
+	if !reflect.DeepEqual(cold[0].Metrics, warm[0].Metrics) {
+		t.Fatal("metrics snapshot changed across the disk-cache round trip")
+	}
+}
