@@ -11,6 +11,7 @@
 //
 //	figures                  # everything at reporting scale
 //	figures -figure 6        # one figure
+//	figures -resilience      # execution time / link ED^2P vs. link BER
 //	figures -quick           # smoke-test scale (seconds)
 //	figures -csv             # CSV output (tables on stdout, progress on stderr)
 //	figures -jobs 8          # worker pool size (default: GOMAXPROCS)
@@ -42,15 +43,16 @@ import (
 
 func main() {
 	var (
-		figure   = flag.Int("figure", 0, "figure number (2, 5, 6 or 7); 0 runs all")
-		quick    = flag.Bool("quick", false, "smoke-test scale")
-		csv      = flag.Bool("csv", false, "emit CSV")
-		refs     = flag.Int("refs", 0, "override references per core")
-		warmup   = flag.Int("warmup", 0, "override warmup references per core")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		ablation = flag.Bool("ablation", false, "run the ablation studies instead of the paper figures")
-		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cache", "", "result cache directory (empty = in-process cache only)")
+		figure     = flag.Int("figure", 0, "figure number (2, 5, 6 or 7); 0 runs all")
+		quick      = flag.Bool("quick", false, "smoke-test scale")
+		csv        = flag.Bool("csv", false, "emit CSV")
+		refs       = flag.Int("refs", 0, "override references per core")
+		warmup     = flag.Int("warmup", 0, "override warmup references per core")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		ablation   = flag.Bool("ablation", false, "run the ablation studies instead of the paper figures")
+		resilience = flag.Bool("resilience", false, "run the fault-injection resilience sweep instead of the paper figures")
+		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache", "", "result cache directory (empty = in-process cache only)")
 
 		metricsDir = flag.String("metrics-dir", "", "write per-figure metrics sidecar JSON files into this directory")
 	)
@@ -134,6 +136,20 @@ func main() {
 			fail(err)
 		}
 		trailer("ablations", start)
+		return
+	}
+	if *resilience {
+		for _, app := range []string{"FFT", "MP3D"} {
+			_, t, err := figures.Resilience(runner, scale, app)
+			if err != nil {
+				fail(err)
+			}
+			emit(fmt.Sprintf("Resilience: %s execution time and link ED^2P vs. link BER (DBRC-4/2B over VL+B, retries correct every error)", app), t)
+		}
+		if err := sidecars.flush("resilience"); err != nil {
+			fail(err)
+		}
+		trailer("resilience sweep", start)
 		return
 	}
 	if want(2) {
@@ -227,7 +243,11 @@ func progressPrinter() func(done, total int) {
 		elapsed := time.Since(start)
 		eta := "?"
 		if done > 0 {
-			eta = (elapsed / time.Duration(done) * time.Duration(total-done)).Round(time.Second).String()
+			// Project in float seconds: dividing the Duration first
+			// (elapsed/done*(total-done)) truncates to integer
+			// nanoseconds per job and zeroes the ETA for fast jobs.
+			etaSec := elapsed.Seconds() / float64(done) * float64(total-done)
+			eta = time.Duration(etaSec * float64(time.Second)).Round(time.Second).String()
 		}
 		fmt.Fprintf(os.Stderr, "\rsweep: %d/%d jobs done, eta %-8s", done, total, eta)
 		if done == total {

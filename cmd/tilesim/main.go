@@ -18,6 +18,15 @@
 // deterministic JSON; -trace-out writes a Chrome trace-event file
 // loadable at https://ui.perfetto.dev, sampling every Nth message
 // lifecycle per -trace-sample.
+//
+// Deterministic fault injection (DESIGN.md §11):
+//
+//	tilesim -app FFT -het -scheme dbrc -fault-ber 1e-6
+//	tilesim -app FFT -het -scheme dbrc -fault-outage-plane VL \
+//	    -fault-outage-start 5000 -fault-outage-cycles 20000
+//
+// All fault randomness is keyed by -seed: same-seed runs stay
+// byte-identical at any BER.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"tilesim/internal/cmp"
 	"tilesim/internal/compress"
 	"tilesim/internal/energy"
+	"tilesim/internal/fault"
 	"tilesim/internal/noc"
 	"tilesim/internal/obs"
 	"tilesim/internal/workload"
@@ -48,6 +58,15 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event file (Perfetto) to this file")
 		traceSample = flag.Int("trace-sample", 1, "trace every Nth message lifecycle")
+
+		faultBER          = flag.Float64("fault-ber", 0, "per-wire bit-error rate (0 disables bit errors)")
+		faultVLScale      = flag.Float64("fault-vl-ber-scale", 0, "VL-plane BER multiplier (0 or 1 = same as B)")
+		faultOutagePlane  = flag.String("fault-outage-plane", "", "plane to take down: B, VL or PW")
+		faultOutageStart  = flag.Uint64("fault-outage-start", 0, "outage window start cycle")
+		faultOutageCycles = flag.Uint64("fault-outage-cycles", 0, "outage window length in cycles")
+		faultStallProb    = flag.Float64("fault-stall-prob", 0, "per-hop router stall probability")
+		faultStallCycles  = flag.Int("fault-stall-cycles", 0, "injected stall length in cycles (0 = default 8)")
+		faultRetryLimit   = flag.Int("fault-retry-limit", 0, "per-message retransmission budget (0 = default 8)")
 	)
 	flag.Parse()
 
@@ -58,6 +77,16 @@ func main() {
 		Seed:          *seed,
 		Compression:   compress.Spec{Kind: *scheme, Entries: *entries, LowOrderBytes: *lo},
 		Heterogeneous: *het,
+		Faults: fault.Config{
+			BER:          *faultBER,
+			VLBERScale:   *faultVLScale,
+			OutagePlane:  *faultOutagePlane,
+			OutageStart:  *faultOutageStart,
+			OutageCycles: *faultOutageCycles,
+			StallProb:    *faultStallProb,
+			StallCycles:  *faultStallCycles,
+			RetryLimit:   *faultRetryLimit,
+		},
 	}
 	sys, err := cmp.NewSystem(cfg)
 	if err != nil {
@@ -135,6 +164,13 @@ func main() {
 	}
 	if *het {
 		fmt.Printf("VL-wire traffic     %.1f%% of remote messages\n", 100*r.VLFraction)
+	}
+	if cfg.Faults.Enabled() {
+		fmt.Printf("fault injection     %d CRC errors, %d retries, %d flits retransmitted\n",
+			r.Net.CRCErrors, r.Net.Retries, r.Net.RetryFlits)
+		if r.Failovers > 0 {
+			fmt.Printf("plane failover      %d critical messages rerouted uncompressed\n", r.Failovers)
+		}
 	}
 	fmt.Printf("link energy         %.3g J dynamic + %.3g J static\n", r.Link.DynJ, r.Link.StaticJ)
 	fmt.Printf("interconnect energy %.3g J (links + routers)\n", r.InterconnectJ)

@@ -14,7 +14,12 @@ import "fmt"
 // to different results. See DESIGN.md §9 for the invalidation rules.
 // v3: Result gained the Metrics snapshot (internal/obs) and histogram
 // percentile queries now clamp into the exact observed [min, max].
-const SimVersion = "tilesim-sim-v3"
+// v4: Result gained fault-injection counters (Failovers; Net gained
+// CRCErrors/Retries/RetryFlits/Dropped), and LinkCyclesScale rounding
+// switched from the ad-hoc `+0.999999` ceiling to a fuzz-tolerant
+// math.Ceil — exact products such as 5 cycles x 0.2 now scale to 1
+// cycle, not 2, shifting results for fractional-scale ablations.
+const SimVersion = "tilesim-sim-v4"
 
 // Canonical returns a stable one-line encoding of every
 // simulation-relevant field of the configuration. Two configurations
@@ -32,8 +37,14 @@ func (c RunConfig) Canonical() (string, error) {
 	}
 	w := c.wiring()
 	rp := c.ReplyPartitioning || w == "lpw"
-	return fmt.Sprintf("app=%s refs=%d warmup=%d seed=%d compress=%s/%d/%d wiring=%s rp=%t router=%d linkscale=%g",
+	enc := fmt.Sprintf("app=%s refs=%d warmup=%d seed=%d compress=%s/%d/%d wiring=%s rp=%t router=%d linkscale=%g",
 		c.App, c.RefsPerCore, c.WarmupRefs, c.Seed,
 		c.Compression.Kind, c.Compression.Entries, c.Compression.LowOrderBytes,
-		w, rp, c.RouterLatency, c.LinkCyclesScale), nil
+		w, rp, c.RouterLatency, c.LinkCyclesScale)
+	// Fault fields append only when injection is enabled, so every
+	// fault-free configuration keeps its pre-fault cache key.
+	if c.Faults.Enabled() {
+		enc += " faults=" + c.Faults.Canonical()
+	}
+	return enc, nil
 }

@@ -90,6 +90,7 @@ func TestCanonicalCoversEveryField(t *testing.T) {
 		"ReplyPartitioning": func(c *RunConfig) { c.ReplyPartitioning = true },
 		"RouterLatency":     func(c *RunConfig) { c.RouterLatency = 4 },
 		"LinkCyclesScale":   func(c *RunConfig) { c.LinkCyclesScale = 0.5 },
+		"Faults":            func(c *RunConfig) { c.Faults.BER = 1e-6 },
 	}
 	for name, mut := range mutate {
 		cfg := base
@@ -97,6 +98,10 @@ func TestCanonicalCoversEveryField(t *testing.T) {
 		if enc(cfg) == ref {
 			t.Errorf("mutating %s does not change the canonical encoding", name)
 		}
+	}
+	// Disabled fault injection must not perturb pre-fault cache keys.
+	if strings.Contains(ref, "faults=") {
+		t.Errorf("fault-free encoding mentions faults: %s", ref)
 	}
 
 	// Completeness: every RunConfig field must appear above, so adding

@@ -12,6 +12,7 @@ import (
 	"tilesim/internal/compress"
 	"tilesim/internal/core"
 	"tilesim/internal/energy"
+	"tilesim/internal/fault"
 	"tilesim/internal/mesh"
 	"tilesim/internal/noc"
 	"tilesim/internal/obs"
@@ -60,6 +61,10 @@ type RunConfig struct {
 	// App (e.g. a replayed trace). App is then only a label, and
 	// RefsPerCore/WarmupRefs apply to the generator's stream.
 	Generator workload.Generator
+	// Faults configures deterministic fault injection (DESIGN.md §11);
+	// the zero value disables it. Fault randomness is keyed by Seed, so
+	// same-seed runs stay byte-identical.
+	Faults fault.Config
 }
 
 // wiring normalizes the layout selection.
@@ -130,6 +135,11 @@ type Result struct {
 
 	Net mesh.Summary
 
+	// Failovers counts critical messages steered off an out VL plane to
+	// the bulk plane uncompressed (zero without fault injection; the
+	// link-level fault counters ride along in Net).
+	Failovers uint64
+
 	// Link is the inter-router link energy (Figure 6 bottom subject).
 	Link energy.LinkReport
 	// InterconnectJ is links + routers (Figure 7 input).
@@ -189,6 +199,7 @@ type System struct {
 type mgrSnapshot struct {
 	compressible, compressed, local, saved uint64
 	vl, b, pw                              uint64
+	failover                               uint64
 }
 
 // l1Snapshot captures the chip-wide L1 counters.
@@ -207,6 +218,7 @@ func (s *System) snapMgr() mgrSnapshot {
 		vl:           s.Mgr.VLMessages.Value(),
 		b:            s.Mgr.BMessages.Value(),
 		pw:           s.Mgr.PWMessages.Value(),
+		failover:     s.Mgr.FailoverMsgs.Value(),
 	}
 }
 
@@ -289,6 +301,16 @@ func NewSystem(cfg RunConfig) (*System, error) {
 	for _, sw := range net.StaticWires() {
 		meter.AddStaticWires(sw.Kind, sw.Length, sw.Wires)
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("cmp: %w", err)
+	}
+	if cfg.Faults.Enabled() {
+		inj, err := fault.NewInjector(cfg.Faults, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("cmp: %w", err)
+		}
+		net.SetInjector(inj)
+	}
 
 	sys := &System{K: k, Net: net, Meter: meter, cfg: cfg}
 	// The protocol sends through the manager; the manager delivers back
@@ -318,6 +340,13 @@ func (s *System) Run() (Result, error) {
 		s.startCounterPoller()
 	}
 	s.K.Run(nil)
+
+	// A retry-budget exhaustion drops a protocol message, so the cores
+	// above it can never finish: surface the explicit fault error, not
+	// the secondary deadlock diagnosis.
+	if err := s.Net.FaultError(); err != nil {
+		return Result{}, fmt.Errorf("cmp: fault injection: %w", err)
+	}
 
 	var execCycles sim.Time
 	for _, c := range s.cores {
@@ -349,6 +378,7 @@ func (s *System) Run() (Result, error) {
 		ComprEvents:   s.Meter.ComprEvents() - s.warmDyn.ComprEvents,
 		Table1Scheme:  s.cfg.Compression.Table1Scheme(),
 		LocalMessages: mgrNow.local - s.warmMgr.local,
+		Failovers:     mgrNow.failover - s.warmMgr.failover,
 		Loads:         l1Now.loads - s.warmL1.loads,
 		Stores:        l1Now.stores - s.warmL1.stores,
 		L1Misses:      l1Now.misses - s.warmL1.misses,

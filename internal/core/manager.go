@@ -71,6 +71,11 @@ type Manager struct {
 	PWMessages   stats.Counter
 	LocalMsgs    stats.Counter
 	SavedBytes   stats.Counter // wire bytes removed by compression
+	// FailoverMsgs counts critical messages that would have ridden the
+	// VL wires but were steered to the bulk plane uncompressed because
+	// an injected outage had the VL plane down at send time (the paper's
+	// own fallback path for compression misses, reused for resilience).
+	FailoverMsgs stats.Counter
 }
 
 // New wires a manager between the protocol and the network. deliver is
@@ -134,12 +139,21 @@ func (m *Manager) Send(msg *noc.Message) {
 		return
 	}
 	msg.SizeBytes = msg.UncompressedSize()
-	if noc.Compressible(msg.Type) {
+	// Graceful degradation under an injected VL-plane outage: skip
+	// compression entirely (keeping both codec endpoints' dictionaries
+	// untouched, exactly as hardware would when the encoder is bypassed)
+	// and let the message fall through to the bulk plane uncompressed —
+	// the same fallback path a compression miss takes.
+	vlDown := m.cfg.VLWidthBytes > 0 && !m.net.PlaneUp(mesh.PlaneVL)
+	if noc.Compressible(msg.Type) && !vlDown {
 		m.compress(msg)
 	}
 	critical := noc.Critical(msg.Type) && !msg.Relaxed
+	if vlDown && critical && (noc.Compressible(msg.Type) || msg.SizeBytes <= m.cfg.VLWidthBytes) {
+		m.FailoverMsgs.Inc()
+	}
 	switch {
-	case critical && m.cfg.VLWidthBytes > 0 && msg.SizeBytes <= m.cfg.VLWidthBytes:
+	case critical && !vlDown && m.cfg.VLWidthBytes > 0 && msg.SizeBytes <= m.cfg.VLWidthBytes:
 		msg.VL = true
 		m.VLMessages.Inc()
 	case (!critical || !m.net.HasPlane(mesh.PlaneB)) && m.net.HasPlane(mesh.PlanePW):

@@ -1,0 +1,41 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResilienceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	points, table, err := Resilience(nil, Quick(), "FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(ResilienceBERs()) {
+		t.Fatalf("%d points, want %d", len(points), len(ResilienceBERs()))
+	}
+	if !strings.Contains(table.String(), "Norm Link ED^2P") {
+		t.Error("table header missing")
+	}
+	base := points[0]
+	if base.BER != 0 || base.NormTime != 1 || base.NormLinkED2P != 1 {
+		t.Fatalf("fault-free point not the normalization base: %+v", base)
+	}
+	if base.CRCErrors != 0 {
+		t.Fatalf("CRC errors without injection: %+v", base)
+	}
+	last := points[len(points)-1]
+	if last.CRCErrors == 0 || last.Retries != last.CRCErrors {
+		t.Fatalf("BER 1e-4 point did not exercise corrected retries: %+v", last)
+	}
+	if last.NormTime <= 1 {
+		t.Errorf("BER 1e-4 run not slower than fault-free: %+v", last)
+	}
+	// Degradation is monotone-ish in BER; assert only the strong signal
+	// between the extremes to keep the quick scale stable.
+	if last.NormLinkED2P <= points[1].NormLinkED2P {
+		t.Errorf("link ED^2P did not grow from BER 1e-8 (%+v) to 1e-4 (%+v)", points[1], last)
+	}
+}

@@ -2,7 +2,9 @@ package mesh
 
 import (
 	"fmt"
+	"math"
 
+	"tilesim/internal/fault"
 	"tilesim/internal/noc"
 	"tilesim/internal/obs"
 	"tilesim/internal/sim"
@@ -194,7 +196,30 @@ type Network struct {
 	breakdown [noc.NumClasses]LatencyBreakdown
 
 	tracer *obs.Tracer
+
+	// inj, when non-nil, is the fault-injection source (DESIGN.md §11).
+	// Fault accounting below stays zero without an injector.
+	inj        *fault.Injector
+	crcErrors  stats.Counter // corrupted traversals detected by link CRC
+	retries    stats.Counter // retransmissions scheduled (crcErrors - dropped)
+	retryFlits stats.Counter // flits burned by corrupted traversals
+	dropped    stats.Counter // messages dropped on retry-budget exhaustion
+	stallInj   stats.Counter // injected router-stall cycles
+	outageWait stats.Counter // cycles transmissions waited out plane outages
+	// faultErr records the first retry-budget exhaustion; the system
+	// surfaces it as the run's explicit error (livelock protection).
+	faultErr error
 }
+
+// The fault package mirrors this package's plane ordering without
+// importing it; a drifting constant would silently misdirect BER and
+// outage draws, so pin the correspondence at compile time.
+var (
+	_ = [1]struct{}{}[int(PlaneB)-fault.PlaneB]
+	_ = [1]struct{}{}[int(PlaneVL)-fault.PlaneVL]
+	_ = [1]struct{}{}[int(PlanePW)-fault.PlanePW]
+	_ = [1]struct{}{}[int(numPlanes)-fault.NumPlanes]
+)
 
 // New builds a network on kernel k. obs may be nil.
 func New(k *sim.Kernel, cfg Config, obs Observer) *Network {
@@ -230,10 +255,7 @@ func New(k *sim.Kernel, cfg Config, obs Observer) *Network {
 				if cfg.Channels[p].WidthBytes > 0 {
 					cycles := wire.LatencyCycles(cfg.Channels[p].Kind)
 					if cfg.LinkCyclesScale > 0 {
-						cycles = int(float64(cycles)*cfg.LinkCyclesScale + 0.999999)
-						if cycles < 1 {
-							cycles = 1
-						}
+						cycles = scaledCycles(cycles, cfg.LinkCyclesScale)
 					}
 					planes[p] = &channel{
 						cfg:    cfg.Channels[p],
@@ -246,6 +268,21 @@ func New(k *sim.Kernel, cfg Config, obs Observer) *Network {
 		}
 	}
 	return n
+}
+
+// scaledCycles scales a channel's wire-traversal latency, rounding up
+// with a float-fuzz-tolerant ceiling (minimum 1 cycle). A plain
+// math.Ceil on the raw product over-rounds exact factors: 5 cycles at
+// scale 0.2 computes 1.0000000000000002 in float64, which must still
+// mean 1 cycle, not 2 (the old `+ 0.999999` ad-hoc ceiling got this
+// wrong; fixed under SimVersion v4).
+func scaledCycles(cycles int, scale float64) int {
+	const fuzz = 1e-9
+	scaled := int(math.Ceil(float64(cycles)*scale - fuzz))
+	if scaled < 1 {
+		return 1
+	}
+	return scaled
 }
 
 func (n *Network) linkIndex(from, to int) int { return from*n.topo.Tiles() + to }
@@ -263,6 +300,32 @@ func (n *Network) InFlight() int { return n.inFlight }
 
 // HasPlane reports whether the configuration includes the plane.
 func (n *Network) HasPlane(p Plane) bool { return n.cfg.Channels[p].WidthBytes > 0 }
+
+// SetInjector attaches a fault injector. Must be called before the
+// first Send; a nil injector (the default) keeps every fault hook a
+// single pointer check and the simulation bit-identical to a build
+// without the fault subsystem.
+func (n *Network) SetInjector(in *fault.Injector) { n.inj = in }
+
+// FaultsEnabled reports whether a fault injector is attached.
+func (n *Network) FaultsEnabled() bool { return n.inj != nil }
+
+// PlaneUp reports whether the plane exists and is not inside an
+// injected outage window at the current cycle. The message manager
+// consults it at injection time to fail critical traffic over from an
+// out VL plane to the bulk plane.
+func (n *Network) PlaneUp(p Plane) bool {
+	if !n.HasPlane(p) {
+		return false
+	}
+	return n.inj == nil || !n.inj.PlaneDown(int(p), uint64(n.k.Now()))
+}
+
+// FaultError returns the first retry-budget exhaustion of the run, or
+// nil. A non-nil value means at least one message was dropped: the
+// protocol above has lost a transition and the run's results are
+// meaningless, so cmp.System.Run surfaces this as the run error.
+func (n *Network) FaultError() error { return n.faultErr }
 
 // PlaneWidth returns the channel width of a plane in bytes (0 if absent).
 func (n *Network) PlaneWidth(p Plane) int { return n.cfg.Channels[p].WidthBytes }
@@ -325,6 +388,15 @@ type transit struct {
 	// traceID is the sampled lifecycle span id (0 when untraced or
 	// unsampled).
 	traceID uint64
+	// attempts counts CRC-failed traversals of this message (fault
+	// injection only); it drives the bounded exponential backoff and
+	// the retry budget.
+	attempts int
+	// retryCycles accumulates the full duration of failed traversal
+	// attempts — router pipeline, channel wait, wire flight, NACK
+	// round trip and backoff — so the latency breakdown stays an
+	// exact decomposition under retransmission (obs.go).
+	retryCycles sim.Time
 }
 
 // routeOf computes the XY route for a validated message. An empty
@@ -339,21 +411,41 @@ func (n *Network) routeOf(m *noc.Message) []int {
 }
 
 // hop models the head flit leaving tile t.at toward t.route[t.idx].
+// Under fault injection the traversal may be corrupted (caught by the
+// link CRC at the receiving router and NACKed back — see retryHop) or
+// delayed by an injected router stall or plane outage.
 func (n *Network) hop(t *transit) {
+	entered := n.k.Now()
 	next := t.route[t.idx]
-	planes := n.channels[n.linkIndex(t.at, next)]
+	link := n.linkIndex(t.at, next)
+	planes := n.channels[link]
 	if planes == nil {
 		panic(fmt.Sprintf("mesh: no link %d->%d", t.at, next))
 	}
 	ch := planes[t.plane]
-	// Router pipeline, then wait for the output channel.
-	ready := n.k.Now() + sim.Time(n.cfg.RouterLatency)
+	// Router pipeline (plus any injected stall), then wait for the
+	// output channel and for any plane outage to lift: an out plane
+	// accepts no new transmissions until its window ends.
+	var stall sim.Time
+	if n.inj != nil {
+		stall = sim.Time(n.inj.StallCyclesAt(t.at))
+		if stall > 0 {
+			n.stallInj.Add(uint64(stall))
+		}
+	}
+	ready := n.k.Now() + sim.Time(n.cfg.RouterLatency) + stall
 	start := ready
 	if ch.nextFree > start {
 		start = ch.nextFree
 	}
-	n.hopWait.Observe(float64(start - ready))
-	t.waited += start - ready
+	if n.inj != nil && n.inj.PlaneDown(int(t.plane), uint64(start)) {
+		if end := sim.Time(n.inj.OutageEnd()); end > start {
+			n.outageWait.Add(uint64(end - start))
+			start = end
+		}
+	}
+	wait := start - ready
+	n.hopWait.Observe(float64(wait))
 	ch.nextFree = start + sim.Time(t.flits)
 	ch.flits.Add(uint64(t.flits))
 	ch.busy.Add(uint64(t.flits))
@@ -366,6 +458,13 @@ func (n *Network) hop(t *transit) {
 		n.traceLinkOccupancy(t.m, t.plane, t.at, next, start, t.flits)
 	}
 	headArrives := start + sim.Time(ch.cycles)
+	if n.inj != nil && n.inj.CorruptTraversal(link, int(t.plane), t.m.SizeBytes*8) {
+		n.retryHop(t, ch, next, entered, headArrives)
+		return
+	}
+	// Clean traversal: stalls and channel/outage waits count as
+	// queueing in the latency decomposition.
+	t.waited += wait + stall
 	n.k.ScheduleAt(headArrives, func() {
 		if next == t.m.Dst {
 			// Final router pipeline plus tail serialization.
@@ -378,6 +477,55 @@ func (n *Network) hop(t *transit) {
 	})
 }
 
+// retryHop handles a corrupted traversal: the receiving router's link
+// CRC rejects the message when its tail arrives, a NACK flies back
+// over the reverse channel, and the sender retransmits after a
+// bounded exponential backoff — unless the message has exhausted its
+// retry budget, in which case it is dropped and the run fails with an
+// explicit error (the protocol above has no recovery for a lost
+// message; failing loudly beats livelocking the directory).
+//
+// The whole failed attempt — from hop entry through NACK and backoff
+// — is charged to the transit's retryCycles, keeping the delivered
+// latency decomposition exact (LatencyBreakdown.Retry).
+func (n *Network) retryHop(t *transit, ch *channel, next int, entered, headArrives sim.Time) {
+	n.crcErrors.Inc()
+	n.retryFlits.Add(uint64(t.flits))
+	// The CRC verdict lands when the tail arrives at the receiver.
+	tail := headArrives + sim.Time(t.flits-1)
+	t.attempts++
+	if n.tracer != nil && t.traceID != 0 {
+		tid := n.linkIndex(t.at, next)*int(numPlanes) + int(t.plane)
+		n.tracer.Instant(obs.PidLinks, tid, "crc-nack:"+t.m.Type.String(), "fault", uint64(tail))
+	}
+	if t.attempts > n.inj.RetryLimit() {
+		from := t.at
+		n.k.ScheduleAt(tail, func() { n.drop(t, from, next) })
+		return
+	}
+	n.retries.Inc()
+	// NACK round trip over the reverse channel, then back off.
+	retryAt := tail + sim.Time(ch.cycles) + sim.Time(fault.Backoff(t.attempts))
+	t.retryCycles += retryAt - entered
+	n.k.ScheduleAt(retryAt, func() { n.hop(t) })
+}
+
+// drop removes a message whose retry budget is exhausted and records
+// the run-fatal fault error (first drop wins; later drops only count).
+func (n *Network) drop(t *transit, from, to int) {
+	n.inFlight--
+	n.dropped.Inc()
+	if n.faultErr == nil {
+		n.faultErr = fmt.Errorf("mesh: %v %d->%d dropped on link %d->%d at cycle %d: retry budget (%d) exhausted",
+			t.m.Type, t.m.Src, t.m.Dst, from, to, n.k.Now(), n.inj.RetryLimit())
+	}
+	if n.tracer != nil && t.traceID != 0 {
+		n.tracer.End(obs.PidMessages, t.traceID, t.m.Type.String(),
+			classSlug(noc.ClassOf(t.m.Type)), uint64(n.k.Now()),
+			[]obs.Arg{{Key: "dropped", Val: 1}, {Key: "attempts", Val: float64(t.attempts)}})
+	}
+}
+
 func (n *Network) deliver(t *transit) {
 	m := t.m
 	n.inFlight--
@@ -387,7 +535,7 @@ func (n *Network) deliver(t *transit) {
 	n.latHist[class].Observe(lat)
 	n.msgs[class].Inc()
 	n.bytes[class].Add(uint64(m.SizeBytes))
-	n.recordBreakdown(m, class, t.injected, t.plane, t.flits, len(t.route), t.waited, t.traceID)
+	n.recordBreakdown(t, class)
 	h := n.handlers[m.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("mesh: no handler at tile %d for %v", m.Dst, m.Type))
@@ -403,6 +551,15 @@ type Summary struct {
 	PlaneMessages  [numPlanes]uint64
 	MeanHopQueuing float64
 	TotalFlits     uint64
+
+	// Link-level fault activity (all zero without a fault injector):
+	// CRC-detected corrupted traversals, scheduled retransmissions,
+	// flits burned by failed traversals, and messages dropped on
+	// retry-budget exhaustion (any nonzero Dropped fails the run).
+	CRCErrors  uint64
+	Retries    uint64
+	RetryFlits uint64
+	Dropped    uint64
 }
 
 // Summary returns the accumulated statistics.
@@ -417,6 +574,10 @@ func (n *Network) Summary() Summary {
 		s.PlaneMessages[p] = n.byPlane[p].Value()
 	}
 	s.MeanHopQueuing = n.hopWait.Value()
+	s.CRCErrors = n.crcErrors.Value()
+	s.Retries = n.retries.Value()
+	s.RetryFlits = n.retryFlits.Value()
+	s.Dropped = n.dropped.Value()
 	for _, planes := range n.channels {
 		if planes == nil {
 			continue
@@ -452,6 +613,10 @@ func (s Summary) Sub(prev Summary) Summary {
 		out.PlaneMessages[p] -= prev.PlaneMessages[p]
 	}
 	out.TotalFlits -= prev.TotalFlits
+	out.CRCErrors -= prev.CRCErrors
+	out.Retries -= prev.Retries
+	out.RetryFlits -= prev.RetryFlits
+	out.Dropped -= prev.Dropped
 	return out
 }
 

@@ -10,17 +10,19 @@ import (
 	"tilesim/internal/stats"
 )
 
-// LatencyBreakdown decomposes delivered-message latency into the four
+// LatencyBreakdown decomposes delivered-message latency into the
 // stages of a mesh transit — router pipelines, output-channel queueing,
-// wire flight, and tail serialization — as exact cycle sums, so for
-// every class
+// wire flight, tail serialization, and (under fault injection)
+// retransmission — as exact cycle sums, so for every class
 //
-//	Total == Router + Queue + Wire + Serialize
+//	Total == Router + Queue + Wire + Serialize + Retry
 //
 // holds to the cycle (the obs integration test asserts it). The stages
 // follow the timing model of hop/deliver: a message crossing H links
 // pays (H+1) router pipelines, its accumulated channel waits, H wire
-// traversals, and flits-1 cycles of tail serialization.
+// traversals, and flits-1 cycles of tail serialization. Retry charges
+// every cycle spent on CRC-failed traversals and NACK backoff; it is
+// zero without a fault injector.
 type LatencyBreakdown struct {
 	// Messages counts delivered messages in this class.
 	Messages uint64
@@ -34,12 +36,15 @@ type LatencyBreakdown struct {
 	Wire uint64
 	// Serialize is the summed tail-serialization time in cycles.
 	Serialize uint64
+	// Retry is the summed retransmission time (failed traversals plus
+	// NACK backoff) in cycles; zero when faults are disabled.
+	Retry uint64
 }
 
-// ComponentsSum returns Router+Queue+Wire+Serialize, which must equal
-// Total exactly.
+// ComponentsSum returns Router+Queue+Wire+Serialize+Retry, which must
+// equal Total exactly.
 func (b LatencyBreakdown) ComponentsSum() uint64 {
-	return b.Router + b.Queue + b.Wire + b.Serialize
+	return b.Router + b.Queue + b.Wire + b.Serialize + b.Retry
 }
 
 // Breakdown returns the accumulated latency decomposition for a class.
@@ -68,15 +73,18 @@ func classSlug(c noc.Class) string {
 // delivered message and closes its lifecycle span if sampled.
 //
 // All components except Wire are accumulated from first principles
-// (pipeline depth, measured waits, flit count); Wire is the residual,
-// which by the hop timing model equals hops x channel-traversal cycles
-// and guarantees the components always sum exactly to Total.
-func (n *Network) recordBreakdown(m *noc.Message, class noc.Class, injected sim.Time, plane Plane, flits noc.FlitCount, hops int, waited sim.Time, traceID uint64) {
-	total := uint64(n.k.Now() - injected)
+// (pipeline depth, measured waits, flit count, charged retry time);
+// Wire is the residual, which by the hop timing model equals
+// hops x channel-traversal cycles and guarantees the components always
+// sum exactly to Total.
+func (n *Network) recordBreakdown(t *transit, class noc.Class) {
+	hops := len(t.route)
+	total := uint64(n.k.Now() - t.injected)
 	router := uint64(hops+1) * uint64(n.cfg.RouterLatency)
-	serialize := uint64(flits - 1)
-	queue := uint64(waited)
-	wire := total - router - serialize - queue
+	serialize := uint64(t.flits - 1)
+	queue := uint64(t.waited)
+	retry := uint64(t.retryCycles)
+	wire := total - router - serialize - queue - retry
 
 	bd := &n.breakdown[class]
 	bd.Messages++
@@ -85,19 +93,26 @@ func (n *Network) recordBreakdown(m *noc.Message, class noc.Class, injected sim.
 	bd.Queue += queue
 	bd.Wire += wire
 	bd.Serialize += serialize
+	bd.Retry += retry
 
-	if n.tracer != nil && traceID != 0 {
-		n.tracer.End(obs.PidMessages, traceID, m.Type.String(), classSlug(class),
-			uint64(n.k.Now()), []obs.Arg{
-				{Key: "hops", Val: float64(hops)},
-				{Key: "flits", Val: float64(flits)},
-				{Key: "plane", Val: float64(plane)},
-				{Key: "bytes", Val: float64(m.SizeBytes)},
-				{Key: "router_cycles", Val: float64(router)},
-				{Key: "queue_cycles", Val: float64(queue)},
-				{Key: "wire_cycles", Val: float64(wire)},
-				{Key: "serialize_cycles", Val: float64(serialize)},
-			})
+	if n.tracer != nil && t.traceID != 0 {
+		args := []obs.Arg{
+			{Key: "hops", Val: float64(hops)},
+			{Key: "flits", Val: float64(t.flits)},
+			{Key: "plane", Val: float64(t.plane)},
+			{Key: "bytes", Val: float64(t.m.SizeBytes)},
+			{Key: "router_cycles", Val: float64(router)},
+			{Key: "queue_cycles", Val: float64(queue)},
+			{Key: "wire_cycles", Val: float64(wire)},
+			{Key: "serialize_cycles", Val: float64(serialize)},
+		}
+		if retry > 0 {
+			args = append(args,
+				obs.Arg{Key: "retry_cycles", Val: float64(retry)},
+				obs.Arg{Key: "attempts", Val: float64(t.attempts)})
+		}
+		n.tracer.End(obs.PidMessages, t.traceID, t.m.Type.String(), classSlug(class),
+			uint64(n.k.Now()), args)
 	}
 }
 
@@ -124,6 +139,12 @@ func (n *Network) traceLinkOccupancy(m *noc.Message, plane Plane, from, to int, 
 //	net.plane.<plane>.{msgs,flits}          per-plane traffic
 //	net.link.<ff>-><tt>.<plane>.{flits,util} per directed link
 //	net.hop_wait / net.inflight             congestion signals
+//	net.fault.*                             fault-injection activity
+//	                                        (only with an injector)
+//
+// The fault family — and the per-class retry_cycles breakdown stage —
+// register only when a fault injector is attached, keeping fault-free
+// metric output byte-identical to earlier versions.
 func (n *Network) RegisterMetrics(r *obs.Registry) {
 	for c := noc.Class(0); c < noc.NumClasses; c++ {
 		slug := classSlug(c)
@@ -137,6 +158,17 @@ func (n *Network) RegisterMetrics(r *obs.Registry) {
 		r.Counter("net.breakdown."+slug+".queue_cycles", func() uint64 { return bd.Queue })
 		r.Counter("net.breakdown."+slug+".wire_cycles", func() uint64 { return bd.Wire })
 		r.Counter("net.breakdown."+slug+".serialize_cycles", func() uint64 { return bd.Serialize })
+		if n.inj != nil {
+			r.Counter("net.breakdown."+slug+".retry_cycles", func() uint64 { return bd.Retry })
+		}
+	}
+	if n.inj != nil {
+		r.Counter("net.fault.crc_errors", n.crcErrors.Value)
+		r.Counter("net.fault.retries", n.retries.Value)
+		r.Counter("net.fault.retry_flits", n.retryFlits.Value)
+		r.Counter("net.fault.dropped", n.dropped.Value)
+		r.Counter("net.fault.stall_cycles", n.stallInj.Value)
+		r.Counter("net.fault.outage_wait_cycles", n.outageWait.Value)
 	}
 	for p := Plane(0); p < numPlanes; p++ {
 		if !n.HasPlane(p) {

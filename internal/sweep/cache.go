@@ -1,10 +1,13 @@
 package sweep
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
@@ -49,6 +52,11 @@ type Cache struct {
 	mu    sync.Mutex
 	mem   map[string]cmp.Result
 	stats CacheStats
+
+	// healHook, when non-nil, runs after a corrupt entry is detected and
+	// before the removal decision re-reads it. Tests use it to interleave
+	// a concurrent process's heal or atomic rewrite.
+	healHook func()
 }
 
 // NewMemCache returns an in-process-only cache.
@@ -104,10 +112,32 @@ func (c *Cache) readDisk(key string) (cmp.Result, bool) {
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil || e.Version != cmp.SimVersion || e.Key != key {
 		// Corrupt or stale entry: drop it so the directory self-heals.
-		os.Remove(c.path(key))
+		c.removeCorrupt(key, data)
 		return cmp.Result{}, false
 	}
 	return e.Result, true
+}
+
+// removeCorrupt heals a corrupt or stale-version entry. The directory
+// may be shared with concurrent processes, so removal is conditional:
+// between our read and now, another process may have healed the entry
+// already (fs.ErrNotExist — success, nothing to do) or atomically
+// renamed a fresh valid entry into place (the bytes changed — deleting
+// it out from under that writer would throw away a good result). Only
+// an entry still holding the exact corrupt bytes we saw is removed.
+func (c *Cache) removeCorrupt(key string, corrupt []byte) {
+	if c.healHook != nil {
+		c.healHook()
+	}
+	path := c.path(key)
+	cur, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return // another process already healed it
+	}
+	if err != nil || !bytes.Equal(cur, corrupt) {
+		return // concurrently rewritten: the new entry may be valid
+	}
+	os.Remove(path)
 }
 
 // Put memoizes a result. Disk caches also persist it; a persistence

@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tilesim/internal/cmp"
+	"tilesim/internal/compress"
+)
+
+// corruptEntryAt plants a non-JSON entry for cfg in dir and returns the
+// key and path.
+func corruptEntryAt(t *testing.T, dir string) (string, string) {
+	t.Helper()
+	cfg := tiny("FFT", 1, compress.Spec{Kind: "none"})
+	key, err := Key(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return key, path
+}
+
+// TestHealToleratesConcurrentRemoval simulates two processes sharing a
+// cache directory and both reading the same corrupt entry: the slower
+// process's removal finds the file already gone (fs.ErrNotExist) and
+// must treat that as a successful heal.
+func TestHealToleratesConcurrentRemoval(t *testing.T) {
+	dir := t.TempDir()
+	key, path := corruptEntryAt(t, dir)
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.healHook = func() {
+		// The other process heals first.
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry returned a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("entry not healed: %v", err)
+	}
+	// The cache stays usable after the already-healed removal.
+	c.healHook = nil
+	c.Put(key, cmp.Result{ExecCycles: 7})
+	if r, ok := c.Get(key); !ok || r.ExecCycles != 7 {
+		t.Fatal("cache unusable after concurrent heal")
+	}
+}
+
+// TestHealPreservesConcurrentRewrite simulates the other interleaving:
+// between this process reading the corrupt entry and removing it, a
+// concurrent process atomically rewrites the same key with a fresh
+// valid result. The removal must notice the bytes changed and leave the
+// new entry alone.
+func TestHealPreservesConcurrentRewrite(t *testing.T) {
+	dir := t.TempDir()
+	key, path := corruptEntryAt(t, dir)
+	reader, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cmp.Result{App: "FFT", ExecCycles: 12345}
+	reader.healHook = func() {
+		// The other process finishes its simulation and persists the
+		// result via the temp-file + rename protocol.
+		writer.Put(key, want)
+	}
+	if _, ok := reader.Get(key); ok {
+		t.Fatal("corrupt entry returned a hit")
+	}
+	// The freshly written entry survived the reader's heal attempt.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("concurrent rewrite was deleted out from under the writer: %v", err)
+	}
+	fresh, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := fresh.Get(key)
+	if !ok {
+		t.Fatal("rewritten entry unreadable")
+	}
+	if got.ExecCycles != want.ExecCycles || got.App != want.App {
+		t.Fatalf("rewritten entry = %+v, want %+v", got, want)
+	}
+}

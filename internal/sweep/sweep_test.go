@@ -276,6 +276,8 @@ func TestKeyFieldSensitivity(t *testing.T) {
 		{"ReplyPartitioning", func(c *cmp.RunConfig) { c.ReplyPartitioning = true }},
 		{"RouterLatency", func(c *cmp.RunConfig) { c.RouterLatency = 4 }},
 		{"LinkCyclesScale", func(c *cmp.RunConfig) { c.LinkCyclesScale = 2.0 }},
+		{"Faults.BER", func(c *cmp.RunConfig) { c.Faults.BER = 1e-6 }},
+		{"Faults.RetryLimit", func(c *cmp.RunConfig) { c.Faults.BER = 1e-6; c.Faults.RetryLimit = 3 }},
 	}
 	seen := map[string]string{baseKey: "base"}
 	for _, m := range mutations {
