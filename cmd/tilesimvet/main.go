@@ -1,19 +1,30 @@
 // Command tilesimvet runs tilesim's simulator-specific static analyses
 // over the module: determinism (no map-order or wall-clock dependence,
-// no global randomness), unit safety (no mixed-unit arithmetic), panic
-// hygiene (prefixed constant messages), enum-switch exhaustiveness,
-// and obs-hook discipline (tracer calls in loops are nil-guarded and
-// never box through interface parameters).
+// no global randomness — directly or transitively via the taint call
+// graph), stable sorting (sort.SliceStable or a proven total order),
+// deterministic float accumulation, unit safety (no mixed-unit
+// arithmetic, compound assignment or comparison), panic hygiene
+// (prefixed constant messages), enum-switch exhaustiveness, obs-hook
+// discipline (tracer calls in loops are nil-guarded and never box
+// through interface parameters), canonical-encoding field coverage,
+// and constant-rooted metric names.
 //
 // Usage:
 //
 //	go run ./cmd/tilesimvet ./...
 //	go run ./cmd/tilesimvet -json ./internal/mesh
+//	go run ./cmd/tilesimvet -fix ./...
 //
-// The exit status is 0 when the analyzed packages are clean, 1 when
-// findings were reported, and 2 on a driver error (unparsable package,
-// build failure, ...). See DESIGN.md "Determinism & static analysis"
-// for the rule catalog and the //tilesim:ordered and //tilesim:unit
+// -json emits the diagnostics as a JSON array, each carrying its
+// machine-applicable fix when one exists. -fix applies every suggested
+// fix (atomically, gofmt-clean, idempotently) and then reports only
+// the findings that remain unfixable.
+//
+// The exit status is 0 when the analyzed packages are clean (under
+// -fix: when every finding was fixable), 1 when findings remain, and
+// 2 on a driver error (unparsable package, build failure, conflicting
+// fixes, ...). See DESIGN.md §8 and §12 for the rule catalog and the
+// //tilesim:ordered, //tilesim:unit and //tilesim:totalorder
 // annotations.
 package main
 
@@ -28,8 +39,9 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	fix := flag.Bool("fix", false, "apply suggested fixes, then report only unfixable findings")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tilesimvet [-json] <packages>\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tilesimvet [-json] [-fix] <packages>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,6 +55,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tilesimvet: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *fix {
+		changed, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tilesimvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, file := range changed {
+			fmt.Fprintf(os.Stderr, "tilesimvet: fixed %s\n", file)
+		}
+		// Keep only the findings with no machine-applicable fix; the
+		// fixed ones are resolved on disk now.
+		remaining := diags[:0]
+		for _, d := range diags {
+			if d.Fix == nil {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
 	}
 
 	if *jsonOut {

@@ -6,10 +6,23 @@
 //     range-over-map order) unless explicitly annotated as order-safe,
 //     no wall-clock time, and no global/unseeded math/rand outside
 //     cmd/ and test files.
-//   - unit safety: additive arithmetic and comparisons must not mix
-//     values of distinct physical units (cycles, joules, flits,
-//     seconds). Unit types are declared with a //tilesim:unit
-//     annotation on their type declaration.
+//   - stablesort: sort.Slice in simulator packages must be
+//     sort.SliceStable (or carry a //tilesim:totalorder annotation
+//     proving the comparator is a total order), since the tie-breaking
+//     order of an unstable sort is unspecified and silently diverges.
+//   - floatorder: floating-point accumulation inside a range over a map
+//     is flagged even when the range is //tilesim:ordered-annotated —
+//     float summation is not associative, so iteration order changes
+//     the result bits.
+//   - taint: a module-wide call-graph pass flags internal/ functions
+//     from which time.Now or the global math/rand source is
+//     *transitively* reachable through helpers and stored function
+//     values, closing the hole the per-callsite determinism check
+//     leaves open.
+//   - unit safety: additive arithmetic, compound assignment and
+//     comparisons must not mix values of distinct physical units
+//     (cycles, joules, flits, seconds). Unit types are declared with a
+//     //tilesim:unit annotation on their type declaration.
 //   - panic hygiene: every panic in internal/ packages must carry a
 //     constant "<pkg>: ..."-prefixed message so a crash names its
 //     subsystem.
@@ -20,6 +33,18 @@
 //     loop bodies must be nil-guarded so disabled observability costs
 //     one pointer check, and interface-boxing hooks (Annotate) must
 //     never run in a loop at all.
+//   - canoncover: every Canonical() method must reference every
+//     exported field of its receiver struct (recursively through
+//     module-declared struct fields), promoting the runtime
+//     field-coverage reflection test to a vet-time guarantee.
+//   - metricskeys: obs.Registry registrations must use
+//     constant-rooted, pointer-free metric names so metric snapshots
+//     stay byte-deterministic across runs.
+//
+// Some diagnostics carry a machine-applicable SuggestedFix
+// (sort.Slice -> sort.SliceStable, panic-prefix insertion, nil-guard
+// wrapping); ApplyFixes applies them atomically and gofmt-clean, and
+// cmd/tilesimvet surfaces them behind -fix.
 //
 // The driver is stdlib-only: packages are resolved and compiled by the
 // go tool (go list -export), parsed with go/parser, and type-checked
@@ -45,6 +70,11 @@ const (
 	//	//tilesim:unit cycles
 	//	type Time uint64
 	UnitAnnotation = "tilesim:unit"
+	// TotalOrderAnnotation marks a sort.Slice call whose comparator is
+	// a total order (no two distinct elements compare equal), so the
+	// unstable sort cannot introduce tie-breaking nondeterminism. The
+	// annotation should be accompanied by a comment proving totality.
+	TotalOrderAnnotation = "tilesim:totalorder"
 )
 
 // Diagnostic is one finding.
@@ -55,6 +85,9 @@ type Diagnostic struct {
 	Col      int            `json:"col"`
 	Analyzer string         `json:"analyzer"`
 	Message  string         `json:"message"`
+	// Fix, when non-nil, is a machine-applicable resolution of the
+	// finding (see ApplyFixes and cmd/tilesimvet -fix).
+	Fix *SuggestedFix `json:"fix,omitempty"`
 }
 
 // String renders the diagnostic in the file:line:col style of go vet.
@@ -67,13 +100,20 @@ type pass struct {
 	pkg   *Package
 	fset  *token.FileSet
 	units map[string]string // "pkgpath.TypeName" -> unit name
-	// annotated maps file -> set of lines carrying //tilesim:ordered.
-	annotated map[*ast.File]map[int]bool
+	// ordered maps file -> set of lines carrying //tilesim:ordered;
+	// totalorder does the same for //tilesim:totalorder.
+	ordered    map[*ast.File]map[int]bool
+	totalorder map[*ast.File]map[int]bool
 
 	report func(Diagnostic)
 }
 
 func (p *pass) reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	p.reportFix(analyzer, pos, nil, format, args...)
+}
+
+// reportFix is reportf with an attached suggested fix.
+func (p *pass) reportFix(analyzer string, pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.fset.Position(pos)
 	p.report(Diagnostic{
 		Pos:      position,
@@ -82,19 +122,30 @@ func (p *pass) reportf(analyzer string, pos token.Pos, format string, args ...an
 		Col:      position.Column,
 		Analyzer: analyzer,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 
-// orderedAt reports whether an //tilesim:ordered annotation covers the
-// given position: on the same line (trailing comment) or the line
-// immediately above the statement.
-func (p *pass) orderedAt(f *ast.File, pos token.Pos) bool {
-	lines := p.annotated[f]
-	if lines == nil {
+// annotatedAt reports whether an annotation line-set covers the given
+// position: on the same line (trailing comment) or the line immediately
+// above the statement.
+func (p *pass) annotatedAt(lines map[*ast.File]map[int]bool, f *ast.File, pos token.Pos) bool {
+	set := lines[f]
+	if set == nil {
 		return false
 	}
 	line := p.fset.Position(pos).Line
-	return lines[line] || lines[line-1]
+	return set[line] || set[line-1]
+}
+
+// orderedAt reports whether a //tilesim:ordered annotation covers pos.
+func (p *pass) orderedAt(f *ast.File, pos token.Pos) bool {
+	return p.annotatedAt(p.ordered, f, pos)
+}
+
+// totalOrderAt reports whether a //tilesim:totalorder annotation covers pos.
+func (p *pass) totalOrderAt(f *ast.File, pos token.Pos) bool {
+	return p.annotatedAt(p.totalorder, f, pos)
 }
 
 // inInternal reports whether the package is part of the simulator core
@@ -107,6 +158,18 @@ func (p *pass) inInternal() bool {
 // where wall-clock time and ad-hoc randomness are acceptable.
 func (p *pass) inCmd() bool {
 	return strings.Contains(p.pkg.Path, "/cmd/")
+}
+
+// module bundles every loaded package for the analyzers that need a
+// whole-program view (taint's call graph, canoncover's cross-package
+// method closure).
+type module struct {
+	passes []*pass
+	fset   *token.FileSet
+	// targets indexes the loaded target packages by import path, so
+	// "declared in the analyzed module" is decidable for types that
+	// reach a pass through export data.
+	targets map[string]*Package
 }
 
 // Run loads the packages matched by patterns from dir and applies every
@@ -126,22 +189,35 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 	}
 
 	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	mod := &module{fset: fset, targets: make(map[string]*Package)}
 	for _, pkg := range pkgs {
 		p := &pass{
-			pkg:       pkg,
-			fset:      fset,
-			units:     units,
-			annotated: collectAnnotations(fset, pkg),
-			report:    func(d Diagnostic) { diags = append(diags, d) },
+			pkg:        pkg,
+			fset:       fset,
+			units:      units,
+			ordered:    collectAnnotations(fset, pkg, OrderedAnnotation),
+			totalorder: collectAnnotations(fset, pkg, TotalOrderAnnotation),
+			report:     report,
 		}
+		mod.passes = append(mod.passes, p)
+		mod.targets[pkg.Path] = pkg
 		checkDeterminism(p)
+		checkStableSort(p)
+		checkFloatOrder(p)
 		checkUnits(p)
 		checkPanics(p)
 		checkExhaustive(p)
 		checkObsHooks(p)
+		checkMetricsKeys(p)
 	}
 
-	sort.Slice(diags, func(i, j int) bool {
+	// Module-wide passes: these see every loaded package at once.
+	graph := buildGraph(mod)
+	checkTaint(mod, graph)
+	checkCanonCover(mod, graph)
+
+	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
 			return a.File < b.File
@@ -157,15 +233,15 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// collectAnnotations indexes the lines of each file that carry an
-// //tilesim:ordered annotation.
-func collectAnnotations(fset *token.FileSet, pkg *Package) map[*ast.File]map[int]bool {
+// collectAnnotations indexes the lines of each file that carry the
+// given //tilesim:* annotation.
+func collectAnnotations(fset *token.FileSet, pkg *Package, annotation string) map[*ast.File]map[int]bool {
 	out := make(map[*ast.File]map[int]bool)
 	for _, f := range pkg.Files {
 		lines := make(map[int]bool)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if strings.Contains(c.Text, OrderedAnnotation) {
+				if strings.Contains(c.Text, annotation) {
 					lines[fset.Position(c.Pos()).Line] = true
 				}
 			}

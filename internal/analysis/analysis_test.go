@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -28,9 +30,13 @@ func TestFixtureFindings(t *testing.T) {
 		{"badtime", "determinism", 2},
 		{"badrand", "determinism", 1},
 		{"badpanic", "panics", 3},
-		{"badunits", "units", 2},
+		{"badunits", "units", 7},
 		{"badswitch", "exhaustive", 1},
 		{"badobs", "obshooks", 2},
+		{"badsort", "stablesort", 1},
+		{"badfloat", "floatorder", 3},
+		{"badcanon", "canoncover", 1},
+		{"badmetricskeys", "metricskeys", 3},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -67,9 +73,14 @@ func TestFixtureFindingsAnchored(t *testing.T) {
 		{"badtime", []int{9, 14}},
 		{"badrand", []int{10}},
 		{"badpanic", []int{11, 14, 17}},
-		{"badunits", []int{18, 23}},
+		{"badunits", []int{19, 24, 29, 34, 39, 45, 52}},
 		{"badswitch", []int{18}},
 		{"badobs", []int{18, 27}},
+		{"badsort", []int{18}},
+		{"badfloat", []int{15, 23, 32}},
+		{"badtaint", []int{16, 19, 24, 31, 35}},
+		{"badcanon", []int{25}},
+		{"badmetricskeys", []int{23, 30, 37}},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -82,6 +93,85 @@ func TestFixtureFindingsAnchored(t *testing.T) {
 				if !got[line] {
 					t.Errorf("%s: no finding on line %d:\n%s", c.fixture, line, render(diags))
 				}
+			}
+		})
+	}
+}
+
+// TestTaintFixture checks the one fixture that deliberately mixes
+// analyzers: the per-callsite determinism rule owns the two direct
+// references (the stored time.Now, the global rand.Float64 call) while
+// the taint pass owns the three functions that reach them transitively,
+// each with a readable call chain.
+func TestTaintFixture(t *testing.T) {
+	diags := runFixture(t, "badtaint")
+	byAnalyzer := make(map[string]int)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if d.Analyzer == "taint" && !strings.Contains(d.Message, " -> ") {
+			t.Errorf("taint finding without a call chain: %s", d)
+		}
+	}
+	if byAnalyzer["determinism"] != 2 || byAnalyzer["taint"] != 3 || len(diags) != 5 {
+		t.Fatalf("badtaint: got %v (total %d), want determinism:2 taint:3:\n%s",
+			byAnalyzer, len(diags), render(diags))
+	}
+}
+
+// TestGoldenFixtures compares the full rendered diagnostics of each
+// new-rule fixture against its checked-in want.txt, pinning message
+// wording, positions, and ordering all at once.
+func TestGoldenFixtures(t *testing.T) {
+	for _, fixture := range []string{"badsort", "badfloat", "badtaint", "badcanon", "badmetricskeys"} {
+		t.Run(fixture, func(t *testing.T) {
+			diags := runFixture(t, fixture)
+			var b strings.Builder
+			for _, d := range diags {
+				line := d.String()
+				if i := strings.Index(line, "testdata/src/"); i >= 0 {
+					line = line[i+len("testdata/src/"):]
+				}
+				b.WriteString(line + "\n")
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "src", fixture, "want.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := b.String(); got != string(want) {
+				t.Errorf("diagnostics drifted from want.txt:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestFixturesCarryFixes asserts the mechanically fixable findings
+// actually carry SuggestedFix payloads with non-empty edits.
+func TestFixturesCarryFixes(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer string
+		fixes    int
+	}{
+		{"badsort", "stablesort", 1},
+		// panic(v) has no string literal to prefix, so only the two
+		// literal-message findings are mechanically fixable.
+		{"badpanic", "panics", 2},
+		{"badobs", "obshooks", 1},
+	}
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			got := 0
+			for _, d := range runFixture(t, c.fixture) {
+				if d.Analyzer != c.analyzer || d.Fix == nil {
+					continue
+				}
+				if len(d.Fix.Edits) == 0 || d.Fix.Message == "" {
+					t.Errorf("degenerate fix on %s: %+v", d, d.Fix)
+				}
+				got++
+			}
+			if got != c.fixes {
+				t.Errorf("%s: got %d findings with fixes, want %d", c.fixture, got, c.fixes)
 			}
 		})
 	}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkCanonCover promotes the runtime field-coverage reflection test
+// on canonical encodings to a vet-time guarantee: every method named
+// Canonical declared on a struct type in an internal/ package must
+// reference every exported field of its receiver struct — recursively
+// through fields whose types are structs declared in the analyzed
+// module (cmp.RunConfig's Compression and Faults, for example). A
+// field the encoding silently drops means two distinct configurations
+// share a sweep-cache key and one of them reports the other's results.
+//
+// "References" is resolved over the transitive closure of module
+// functions the Canonical method calls (or stores), so delegation like
+// RunConfig.Canonical -> fault.Config.Canonical counts: the nested
+// fields are covered where the delegate reads them. The reference may
+// be on any value of the struct type, not necessarily the receiver
+// chain — a deliberate over-approximation that keeps the rule free of
+// alias analysis (DESIGN.md §12).
+func checkCanonCover(m *module, g *graph) {
+	for _, p := range m.passes {
+		if !p.inInternal() {
+			continue
+		}
+		for _, f := range p.pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "Canonical" || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				recv := derefNamed(fn.Type().(*types.Signature).Recv().Type())
+				if recv == nil {
+					continue
+				}
+				if _, isStruct := recv.Underlying().(*types.Struct); !isStruct {
+					continue
+				}
+				checkOneCanonical(m, g, p, fd, fn, recv)
+			}
+		}
+	}
+}
+
+// checkOneCanonical verifies a single Canonical root.
+func checkOneCanonical(m *module, g *graph, p *pass, fd *ast.FuncDecl, fn *types.Func, recv *types.Named) {
+	covered := coveredFields(g, fn)
+	var missing []string
+	requireFields(m, recv, "", covered, make(map[string]bool), &missing)
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	p.reportf("canoncover", fd.Pos(),
+		"Canonical() of %s.%s does not reference exported field(s) %s; every field must influence the canonical encoding or two distinct configurations will share a cache key",
+		recv.Obj().Pkg().Name(), recv.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// coveredFields collects every struct-field selection in the bodies of
+// the module functions transitively referenced from root, keyed
+// "pkgpath.TypeName.Field".
+func coveredFields(g *graph, root *types.Func) map[string]bool {
+	covered := make(map[string]bool)
+	seen := make(map[string]bool)
+	var walk func(id string)
+	walk = func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		node := g.nodes[id]
+		if node == nil {
+			return
+		}
+		if node.decl != nil {
+			collectFieldSelections(node.p, node.decl.Body, covered)
+		}
+		for _, ref := range node.refs {
+			walk(ref)
+		}
+	}
+	walk(root.FullName())
+	return covered
+}
+
+// collectFieldSelections records every field selection in the subtree.
+func collectFieldSelections(p *pass, root ast.Node, covered map[string]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := p.pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		owner := derefNamed(s.Recv())
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return true
+		}
+		covered[fieldKey(owner, s.Obj().Name())] = true
+		return true
+	})
+}
+
+// requireFields walks the struct's exported fields (recursively through
+// module-declared struct-typed fields), appending to missing each field
+// path absent from covered. path is the display prefix ("" for the
+// root; "Faults." one level down).
+func requireFields(m *module, owner *types.Named, path string, covered map[string]bool, visited map[string]bool, missing *[]string) {
+	key := typeID(owner)
+	if visited[key] {
+		return
+	}
+	visited[key] = true
+	st, ok := owner.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if !covered[fieldKey(owner, f.Name())] {
+			*missing = append(*missing, path+f.Name())
+		}
+		// Recurse into struct-typed fields declared in the analyzed
+		// module: their exported fields must be covered somewhere in
+		// the closure too (typically by a delegated Canonical).
+		if nested := derefNamed(f.Type()); nested != nil && nested.Obj().Pkg() != nil {
+			if _, inModule := m.targets[nested.Obj().Pkg().Path()]; inModule {
+				if _, isStruct := nested.Underlying().(*types.Struct); isStruct {
+					requireFields(m, nested, path+f.Name()+".", covered, visited, missing)
+				}
+			}
+		}
+	}
+}
+
+// fieldKey keys one field of a named struct type.
+func fieldKey(owner *types.Named, field string) string {
+	return typeID(owner) + "." + field
+}
+
+// typeID keys a named type across the source-checked and export-data
+// views of its package.
+func typeID(n *types.Named) string {
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// derefNamed resolves a type to its named form, unwrapping one pointer.
+func derefNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// TextEdit is one byte-range replacement in a file. Offset and End are
+// byte offsets into the file's content as it was when the analysis ran;
+// End == Offset is a pure insertion.
+type TextEdit struct {
+	File    string `json:"file"`
+	Offset  int    `json:"offset"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
+}
+
+// SuggestedFix is a machine-applicable resolution of a diagnostic:
+// applying Edits (see ApplyFixes) removes the finding. Fixes are
+// conservative — they never change simulation semantics beyond what
+// the diagnostic's message demands.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// edit builds a TextEdit covering [pos, end) with fset-derived offsets.
+func (p *pass) edit(pos, end token.Pos, newText string) TextEdit {
+	from := p.fset.Position(pos)
+	to := p.fset.Position(end)
+	return TextEdit{File: from.Filename, Offset: from.Offset, End: to.Offset, NewText: newText}
+}
+
+// insert builds a pure-insertion TextEdit at pos.
+func (p *pass) insert(pos token.Pos, newText string) TextEdit {
+	return p.edit(pos, pos, newText)
+}
+
+// ApplyFixes applies every suggested fix carried by diags to the
+// files on disk and returns the sorted list of files it changed.
+// The application is:
+//
+//   - atomic: each file is rewritten via a temp file + rename in its
+//     own directory, so a crash never leaves a half-written source;
+//   - gofmt-clean: the patched source is run through go/format before
+//     writing, so fixes cannot introduce formatting drift;
+//   - idempotent: re-running the analysis on fixed files yields no
+//     further fixable findings, and re-applying an empty fix set
+//     changes nothing.
+//
+// Conflicting (overlapping) edits abort with an error before any file
+// is written; identical duplicate edits are merged.
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	perFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			perFile[e.File] = append(perFile[e.File], e)
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile { //tilesim:ordered — keys are sorted below
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	// Validate every file before writing any, so a conflict in one
+	// file cannot leave the tree partially fixed.
+	patched := make(map[string][]byte, len(files))
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %v", err)
+		}
+		out, err := applyEdits(src, perFile[file])
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %v", file, err)
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: fixed source does not parse: %v", file, err)
+		}
+		if !bytes.Equal(formatted, src) {
+			patched[file] = formatted
+		}
+	}
+
+	var changed []string
+	for _, file := range files {
+		out, ok := patched[file]
+		if !ok {
+			continue
+		}
+		if err := writeAtomic(file, out); err != nil {
+			return changed, err
+		}
+		changed = append(changed, file)
+	}
+	return changed, nil
+}
+
+// applyEdits splices the edits into src. Edits are sorted by offset;
+// overlapping non-identical edits are an error.
+func applyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sort.SliceStable(edits, func(i, j int) bool {
+		a, b := edits[i], edits[j]
+		if a.Offset != b.Offset {
+			return a.Offset < b.Offset
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		return a.NewText < b.NewText
+	})
+	// Merge exact duplicates (two diagnostics may suggest the same edit).
+	deduped := edits[:0]
+	for i, e := range edits {
+		if i > 0 && e == edits[i-1] {
+			continue
+		}
+		deduped = append(deduped, e)
+	}
+	var out bytes.Buffer
+	last := 0
+	for _, e := range deduped {
+		if e.Offset < last {
+			return nil, fmt.Errorf("conflicting fixes overlap at offset %d", e.Offset)
+		}
+		if e.Offset > len(src) || e.End > len(src) || e.End < e.Offset {
+			return nil, fmt.Errorf("fix edit out of range [%d, %d) in %d-byte file", e.Offset, e.End, len(src))
+		}
+		out.Write(src[last:e.Offset])
+		out.WriteString(e.NewText)
+		last = e.End
+	}
+	out.Write(src[last:])
+	return out.Bytes(), nil
+}
+
+// writeAtomic replaces file's content via a same-directory temp file
+// and rename, preserving the original permission bits.
+func writeAtomic(file string, content []byte) error {
+	info, err := os.Stat(file)
+	if err != nil {
+		return fmt.Errorf("analysis: applying fixes: %v", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(file), filepath.Base(file)+".fix*")
+	if err != nil {
+		return fmt.Errorf("analysis: applying fixes: %v", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("analysis: applying fixes: %v", err)
+	}
+	if err := tmp.Chmod(info.Mode().Perm()); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("analysis: applying fixes: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("analysis: applying fixes: %v", err)
+	}
+	if err := os.Rename(tmpName, file); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("analysis: applying fixes: %v", err)
+	}
+	return nil
+}

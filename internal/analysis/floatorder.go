@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkFloatOrder flags floating-point accumulation inside a range
+// over a map in simulator-core (internal/) packages. Float addition is
+// not associative: summing the same multiset of values in two
+// different orders produces different bits, so a map-ordered float
+// accumulation breaks byte-identical reproducibility even when every
+// individual value is deterministic. Crucially, the //tilesim:ordered
+// annotation does NOT waive this rule — that annotation asserts the
+// body is order-independent, which float accumulation never is. The
+// fix is structural: collect and sort the keys, then accumulate in
+// sorted order (stats.SortedKeys), or keep the accumulator integral.
+//
+// Flagged accumulation forms, when the accumulated type's underlying
+// type is a float (float64, float32, or a named type such as
+// energy.Joules):
+//
+//	acc += v        acc -= v        acc = acc + v        acc = acc - v
+//
+// Function-literal bodies are lexical boundaries (their bodies do not
+// run per iteration of an enclosing range); nested map ranges are
+// reported once, at the innermost enclosing map range.
+func checkFloatOrder(p *pass) {
+	if !p.inInternal() {
+		return
+	}
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			p.checkFloatAccum(rng)
+			return true
+		})
+	}
+}
+
+// checkFloatAccum walks one map-range body looking for float
+// accumulation statements, skipping function literals and nested map
+// ranges (the latter are flagged when visited as ranges themselves).
+func (p *pass) checkFloatAccum(rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := p.pkg.Info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if lhs, ok := p.floatAccumTarget(n); ok {
+				p.reportf("floatorder", n.Pos(),
+					"floating-point accumulation of %s inside a range over a map: summation order changes float results (even under //%s); iterate sorted keys or accumulate an integer",
+					types.ExprString(lhs), OrderedAnnotation)
+			}
+		}
+		return true
+	})
+}
+
+// floatAccumTarget reports whether the assignment accumulates into a
+// float-underlying lvalue, returning that lvalue.
+func (p *pass) floatAccumTarget(n *ast.AssignStmt) (ast.Expr, bool) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(n.Lhs) == 1 && p.isFloat(n.Lhs[0]) {
+			return n.Lhs[0], true
+		}
+	case token.ASSIGN:
+		// x = x + v / x = x - v spelled out.
+		for i, lhs := range n.Lhs {
+			if i >= len(n.Rhs) || !p.isFloat(lhs) {
+				continue
+			}
+			be, ok := ast.Unparen(n.Rhs[i]).(*ast.BinaryExpr)
+			if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+				continue
+			}
+			want := types.ExprString(lhs)
+			if types.ExprString(ast.Unparen(be.X)) == want || types.ExprString(ast.Unparen(be.Y)) == want {
+				return lhs, true
+			}
+		}
+	default: // other assignment operators do not accumulate additively
+	}
+	return nil, false
+}
+
+// isFloat reports whether the expression's type has a floating-point
+// underlying type.
+func (p *pass) isFloat(e ast.Expr) bool {
+	tv, ok := p.pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// graph is the module-wide reference graph the whole-program analyzers
+// (taint, canoncover) share. Nodes are declared functions, methods and
+// package-level variables of the loaded target packages, keyed by a
+// stable cross-package ID (types.Func.FullName for functions,
+// "pkgpath.Name" for variables) so the source-checked declaration of a
+// package and the export-data view other packages import resolve to
+// the same node.
+type graph struct {
+	nodes map[string]*graphNode
+}
+
+// graphNode is one declaration plus its outgoing references.
+type graphNode struct {
+	id   string
+	name string    // short display name, e.g. "mesh.Network.Send"
+	pos  token.Pos // declaration position
+	p    *pass     // declaring package's pass
+	decl *ast.FuncDecl
+	// sources are the forbidden nondeterminism entry points the
+	// declaration references directly ("time.Now", "rand.Intn", ...),
+	// sorted.
+	sources []string
+	// refs are the IDs of module declarations this one references —
+	// by call or by value use, so stored function values propagate —
+	// sorted and deduplicated.
+	refs []string
+}
+
+// buildGraph indexes every loaded package's declarations and their
+// references. References to declarations outside the loaded set (the
+// standard library, export-data-only deps) are dropped: they dead-end
+// anyway, except the forbidden clock/rand entry points, which are
+// recorded as sources rather than edges.
+func buildGraph(m *module) *graph {
+	g := &graph{nodes: make(map[string]*graphNode)}
+	// First sweep: declare the nodes, so the reference sweep can tell
+	// module declarations from foreign ones.
+	for _, p := range m.passes {
+		for _, f := range p.pkg.Files {
+			for _, decl := range f.Decls {
+				switch decl := decl.(type) {
+				case *ast.FuncDecl:
+					fn, ok := p.pkg.Info.Defs[decl.Name].(*types.Func)
+					if !ok || decl.Body == nil {
+						continue
+					}
+					g.nodes[fn.FullName()] = &graphNode{
+						id:   fn.FullName(),
+						name: funcDisplayName(p, decl),
+						pos:  decl.Pos(),
+						p:    p,
+						decl: decl,
+					}
+				case *ast.GenDecl:
+					if decl.Tok != token.VAR {
+						continue
+					}
+					for _, spec := range decl.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							v, ok := p.pkg.Info.Defs[name].(*types.Var)
+							if !ok {
+								continue
+							}
+							id := varID(v)
+							g.nodes[id] = &graphNode{
+								id:   id,
+								name: p.pkg.Pkg.Name() + "." + v.Name(),
+								pos:  name.Pos(),
+								p:    p,
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Second sweep: collect each node's references from its body (for
+	// functions) or initializer expressions (for package-level vars).
+	for _, p := range m.passes {
+		for _, f := range p.pkg.Files {
+			for _, decl := range f.Decls {
+				switch decl := decl.(type) {
+				case *ast.FuncDecl:
+					fn, ok := p.pkg.Info.Defs[decl.Name].(*types.Func)
+					if !ok || decl.Body == nil {
+						continue
+					}
+					g.collectRefs(p, g.nodes[fn.FullName()], decl.Body)
+				case *ast.GenDecl:
+					if decl.Tok != token.VAR {
+						continue
+					}
+					for _, spec := range decl.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok || len(vs.Values) == 0 {
+							continue
+						}
+						for _, name := range vs.Names {
+							v, ok := p.pkg.Info.Defs[name].(*types.Var)
+							if !ok {
+								continue
+							}
+							node := g.nodes[varID(v)]
+							for _, val := range vs.Values {
+								g.collectRefs(p, node, val)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, n := range g.nodes { //tilesim:ordered — per-node normalization, order-independent
+		n.sources = sortDedup(n.sources)
+		n.refs = sortDedup(n.refs)
+	}
+	return g
+}
+
+// collectRefs records every module declaration and forbidden source the
+// subtree references into node.
+func (g *graph) collectRefs(p *pass, node *graphNode, root ast.Node) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.pkg.Info.Uses[ident]
+		if !ok {
+			return true
+		}
+		switch obj := obj.(type) {
+		case *types.Func:
+			if src, forbidden := forbiddenSource(obj); forbidden {
+				node.sources = append(node.sources, src)
+				return true
+			}
+			if _, inModule := g.nodes[obj.FullName()]; inModule {
+				node.refs = append(node.refs, obj.FullName())
+			}
+		case *types.Var:
+			if obj.IsField() || obj.Pkg() == nil {
+				return true
+			}
+			// Only package-level variables are graph nodes; locals are
+			// covered implicitly (their initializers' references are
+			// collected from the same enclosing body).
+			if obj.Parent() == obj.Pkg().Scope() {
+				if id := varID(obj); g.nodes[id] != nil && id != node.id {
+					node.refs = append(node.refs, id)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// forbiddenSource reports whether fn is a nondeterminism entry point:
+// a wall-clock read or a global math/rand draw (the same sets the
+// per-callsite determinism rule enforces). Methods are never sources —
+// (*rand.Rand).Float64 on an explicitly seeded generator is exactly
+// the sanctioned alternative to the package-level rand.Float64.
+func forbiddenSource(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false
+	}
+	switch pkg.Path() {
+	case "time":
+		if forbiddenClockFuncs[fn.Name()] {
+			return "time." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[fn.Name()] {
+			return "rand." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// varID keys a package-level variable.
+func varID(v *types.Var) string {
+	return v.Pkg().Path() + "." + v.Name()
+}
+
+// funcDisplayName renders a declaration for diagnostics:
+// "pkg.Func" or "pkg.Recv.Method".
+func funcDisplayName(p *pass, decl *ast.FuncDecl) string {
+	name := p.pkg.Pkg.Name() + "."
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		t := decl.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if ident, ok := t.(*ast.Ident); ok {
+			name += ident.Name + "."
+		}
+	}
+	return name + decl.Name.Name
+}
+
+// sortedNodeIDs returns the graph's node IDs in sorted order, for
+// deterministic iteration.
+func (g *graph) sortedNodeIDs() []string {
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes { //tilesim:ordered — keys are sorted below
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func sortDedup(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, s := range in {
+		if i > 0 && s == in[i-1] {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

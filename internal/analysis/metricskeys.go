@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// registrationMethods are the obs.Registry entry points whose first
+// argument is the metric name.
+var registrationMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Mean": true, "Histogram": true,
+}
+
+// checkMetricsKeys enforces byte-deterministic metric naming at every
+// obs.Registry registration site in simulator-core (internal/)
+// packages. Snapshot output is keyed by metric name, so a name that
+// varies between same-seed runs — a pointer rendered with %p, a name
+// assembled from an unrecognizable dynamic expression — breaks the
+// byte-identity contract of DESIGN.md §10 even when every value is
+// deterministic.
+//
+// The name argument must be *constant-rooted*: following left
+// operands through string concatenation, fmt.Sprintf (whose format
+// must be constant and open with a literal prefix before the first
+// verb), and single-assignment local variables, the leftmost leaf
+// must be a constant string. That pins every metric to a grep-able
+// constant family prefix ("net.", "coh.", ...) while still allowing
+// deterministic derived segments (per-class slugs, per-link indices).
+// Independent of rooting, a %p verb anywhere in a name's format string
+// is always flagged: addresses differ per run by construction.
+func checkMetricsKeys(p *pass) {
+	if !p.inInternal() || strings.HasSuffix(p.pkg.Path, "internal/obs") {
+		return
+	}
+	for _, f := range p.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkMetricsKeysFunc(fd)
+		}
+	}
+}
+
+// checkMetricsKeysFunc analyzes one function's registration calls
+// against its local single-assignment bindings.
+func (p *pass) checkMetricsKeysFunc(fd *ast.FuncDecl) {
+	defs := p.singleAssignments(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := p.obsMethodCallee(sel, "Registry")
+		if fn == nil || !registrationMethods[fn.Name()] {
+			return true
+		}
+		name := call.Args[0]
+		if verb, bad := p.pointerFormatted(name, defs, 0); bad {
+			p.reportf("metricskeys", name.Pos(),
+				"metric name formats a pointer with %%%s: addresses differ per run, breaking byte-identical snapshots; key the metric by a structural index instead", verb)
+		}
+		if !p.constantRooted(name, defs, 0) {
+			p.reportf("metricskeys", name.Pos(),
+				"metric name passed to Registry.%s is not rooted in a constant string; start the name with a constant family prefix so snapshots stay byte-deterministic and names stay grep-able",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+// singleAssignments indexes the function's local variables that are
+// defined exactly once with a 1:1 initializer and never reassigned, so
+// constant-rootedness can follow them. Anything reassigned or
+// multi-valued is dropped (conservatively unresolvable).
+func (p *pass) singleAssignments(body *ast.BlockStmt) map[types.Object]ast.Expr {
+	defs := make(map[types.Object]ast.Expr)
+	dead := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			ident, ok := lhs.(*ast.Ident)
+			if !ok || ident.Name == "_" {
+				continue
+			}
+			var obj types.Object
+			if as.Tok == token.DEFINE {
+				obj = p.pkg.Info.Defs[ident]
+			} else {
+				obj = p.pkg.Info.Uses[ident]
+			}
+			if obj == nil {
+				continue
+			}
+			if as.Tok == token.DEFINE && len(as.Lhs) == len(as.Rhs) && !dead[obj] {
+				if _, dup := defs[obj]; !dup {
+					defs[obj] = as.Rhs[i]
+					continue
+				}
+			}
+			delete(defs, obj)
+			dead[obj] = true
+		}
+		return true
+	})
+	return defs
+}
+
+// constRootDepth bounds resolution through chained local bindings.
+const constRootDepth = 10
+
+// constantRooted reports whether the string expression's leftmost leaf
+// is a constant string.
+func (p *pass) constantRooted(e ast.Expr, defs map[types.Object]ast.Expr, depth int) bool {
+	if depth > constRootDepth {
+		return false
+	}
+	if tv, ok := p.pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true // constant expression (literal, const ident, concat of consts)
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return p.constantRooted(e.X, defs, depth+1)
+		}
+	case *ast.CallExpr:
+		if format, ok := p.sprintfFormat(e); ok {
+			prefix, _, _ := strings.Cut(format, "%")
+			return prefix != ""
+		}
+	case *ast.Ident:
+		if obj, ok := p.pkg.Info.Uses[e]; ok {
+			if def, ok := defs[obj]; ok {
+				return p.constantRooted(def, defs, depth+1)
+			}
+		}
+	}
+	return false
+}
+
+// pointerFormatted reports whether any fmt.Sprintf feeding the name
+// expression uses a %p verb, returning the verb.
+func (p *pass) pointerFormatted(e ast.Expr, defs map[types.Object]ast.Expr, depth int) (string, bool) {
+	if depth > constRootDepth {
+		return "", false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			if v, bad := p.pointerFormatted(e.X, defs, depth+1); bad {
+				return v, true
+			}
+			return p.pointerFormatted(e.Y, defs, depth+1)
+		}
+	case *ast.CallExpr:
+		if format, ok := p.sprintfFormat(e); ok {
+			if strings.Contains(strings.ReplaceAll(format, "%%", ""), "%p") {
+				return "p", true
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := p.pkg.Info.Uses[e]; ok {
+			if def, ok := defs[obj]; ok {
+				return p.pointerFormatted(def, defs, depth+1)
+			}
+		}
+	}
+	return "", false
+}
+
+// sprintfFormat returns the constant format string of a fmt.Sprintf
+// call, when e is one.
+func (p *pass) sprintfFormat(e *ast.CallExpr) (string, bool) {
+	sel, ok := e.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sprintf" {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.pkg.Info.Uses[ident].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return "", false
+	}
+	if len(e.Args) == 0 {
+		return "", false
+	}
+	return p.constString(e.Args[0])
+}
+
+// obsMethodCallee resolves a selector to the *types.Func it calls when
+// it is a method of the named type in tilesim's internal/obs package
+// ("Tracer", "Registry"); nil otherwise.
+func (p *pass) obsMethodCallee(sel *ast.SelectorExpr, typeName string) *types.Func {
+	var obj types.Object
+	if s, ok := p.pkg.Info.Selections[sel]; ok {
+		obj = s.Obj()
+	} else if u, ok := p.pkg.Info.Uses[sel.Sel]; ok {
+		obj = u
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if tn.Name() != typeName || tn.Pkg() == nil ||
+		!strings.HasSuffix(tn.Pkg().Path(), "internal/obs") {
+		return nil
+	}
+	return fn
+}

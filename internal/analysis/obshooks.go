@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -44,9 +45,11 @@ func (p *pass) checkObsHooksFile(f *ast.File) {
 	// First sweep: index the regions that decide a call's context —
 	// loop bodies, function-literal bodies (lexical boundaries), and
 	// the branch extents of nil-guard conditions, keyed by the guarded
-	// expression's printed form.
+	// expression's printed form. Statements wrapping a bare call are
+	// indexed too, so a missing nil guard can suggest a wrapping fix.
 	var loops, bounds []span
 	guards := make(map[string][]span)
+	stmtOf := make(map[*ast.CallExpr]*ast.ExprStmt)
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.ForStmt:
@@ -55,6 +58,10 @@ func (p *pass) checkObsHooksFile(f *ast.File) {
 			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
 		case *ast.FuncLit:
 			bounds = append(bounds, span{n.Body.Pos(), n.Body.End()})
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				stmtOf[call] = n
+			}
 		case *ast.IfStmt:
 			body := span{n.Body.Pos(), n.Body.End()}
 			for _, e := range nonNilConjuncts(n.Cond) {
@@ -106,7 +113,7 @@ func (p *pass) checkObsHooksFile(f *ast.File) {
 		if !ok {
 			return true
 		}
-		fn := p.obsHookCallee(sel)
+		fn := p.obsMethodCallee(sel, "Tracer")
 		if fn == nil || !inLoop(call.Pos()) {
 			return true
 		}
@@ -120,45 +127,24 @@ func (p *pass) checkObsHooksFile(f *ast.File) {
 			}
 		}
 		if recv := types.ExprString(sel.X); !guarded(recv, call.Pos()) {
-			p.reportf("obshooks", call.Pos(),
+			// When the unguarded call is a whole statement, wrapping it
+			// in the guard is a safe mechanical fix.
+			var fix *SuggestedFix
+			if stmt, ok := stmtOf[call]; ok {
+				fix = &SuggestedFix{
+					Message: fmt.Sprintf("wrap the call in `if %s != nil { ... }`", recv),
+					Edits: []TextEdit{
+						p.insert(stmt.Pos(), "if "+recv+" != nil {\n"),
+						p.insert(stmt.End(), "\n}"),
+					},
+				}
+			}
+			p.reportFix("obshooks", call.Pos(), fix,
 				"obs hook %s.%s called in a loop without a nil guard on %s; wrap it in `if %s != nil { ... }` so disabled observability costs one pointer check",
 				"Tracer", fn.Name(), recv, recv)
 		}
 		return true
 	})
-}
-
-// obsHookCallee resolves a selector to the *types.Func it calls and
-// returns it when it is a method of obs.Tracer; nil otherwise.
-func (p *pass) obsHookCallee(sel *ast.SelectorExpr) *types.Func {
-	var obj types.Object
-	if s, ok := p.pkg.Info.Selections[sel]; ok {
-		obj = s.Obj()
-	} else if u, ok := p.pkg.Info.Uses[sel.Sel]; ok {
-		obj = u
-	}
-	fn, ok := obj.(*types.Func)
-	if !ok {
-		return nil
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return nil
-	}
-	recv := sig.Recv().Type()
-	if ptr, ok := recv.(*types.Pointer); ok {
-		recv = ptr.Elem()
-	}
-	named, ok := recv.(*types.Named)
-	if !ok {
-		return nil
-	}
-	tn := named.Obj()
-	if tn.Name() != "Tracer" || tn.Pkg() == nil ||
-		!strings.HasSuffix(tn.Pkg().Path(), "internal/obs") {
-		return nil
-	}
-	return fn
 }
 
 // nonNilConjuncts extracts the expressions an if-condition proves

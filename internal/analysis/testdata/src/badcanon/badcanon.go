@@ -1,0 +1,32 @@
+// Package badcanon is a tilesimvet fixture: its RunConfig.Canonical
+// drops an exported field of the receiver (Seed) and, recursively, an
+// exported field of a nested module struct (Sub.Bias) — so two
+// distinct configurations would share one canonical encoding.
+package badcanon
+
+import "fmt"
+
+// Sub is a nested configuration block.
+type Sub struct {
+	// Gain is encoded (via encode below).
+	Gain float64
+	// Bias is silently dropped from the encoding.
+	Bias float64
+}
+
+// RunConfig selects one simulation.
+type RunConfig struct {
+	App  string
+	Seed int64 // silently dropped from the encoding
+	Sub  Sub
+}
+
+// Canonical forgets Seed and Sub.Bias.
+func (c RunConfig) Canonical() string { // want: canoncover finding here
+	return c.App + " " + c.Sub.encode()
+}
+
+// encode covers Sub.Gain only.
+func (s Sub) encode() string {
+	return fmt.Sprintf("gain=%g", s.Gain)
+}

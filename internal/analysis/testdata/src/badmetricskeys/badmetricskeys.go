@@ -1,0 +1,52 @@
+// Package badmetricskeys is a tilesimvet fixture: it registers obs
+// metrics under names with no constant root (un-grep-able, potentially
+// nondeterministic) and under a pointer-formatted name (always
+// nondeterministic across runs).
+package badmetricskeys
+
+import (
+	"fmt"
+
+	"tilesim/internal/obs"
+)
+
+// Buffer mimics a component with registrable counters.
+type Buffer struct {
+	reads uint64
+}
+
+func (b *Buffer) readCount() uint64 { return b.reads }
+
+// RegisterOpaque takes the whole metric name from the caller: nothing
+// roots it in a constant family prefix.
+func RegisterOpaque(r *obs.Registry, name string, b *Buffer) {
+	r.Counter(name, b.readCount) // want: metricskeys finding here
+}
+
+// RegisterVerbFirst builds the name with a format that opens on a
+// verb, so the constant root is empty.
+func RegisterVerbFirst(r *obs.Registry, i int, b *Buffer) {
+	name := fmt.Sprintf("%02d.reads", i)
+	r.Counter(name, b.readCount) // want: metricskeys finding here
+}
+
+// RegisterPointer keys the metric by the buffer's address, which
+// differs on every run.
+func RegisterPointer(r *obs.Registry, b *Buffer) {
+	name := fmt.Sprintf("buf.%p.reads", b)
+	r.Counter(name, b.readCount) // want: metricskeys finding here
+}
+
+// RegisterConstant and RegisterDerived are the sanctioned spellings:
+// a constant name, and deterministic derived segments under a constant
+// family root — directly, via concatenation, and via a single-assigned
+// local holding a constant-prefixed Sprintf.
+func RegisterConstant(r *obs.Registry, b *Buffer) {
+	r.Counter("buf.reads", b.readCount)
+}
+
+func RegisterDerived(r *obs.Registry, i int, slug string, b *Buffer) {
+	r.Counter("buf."+slug+".reads", b.readCount)
+	name := fmt.Sprintf("buf.%02d", i)
+	r.Counter(name+".reads", b.readCount)
+}

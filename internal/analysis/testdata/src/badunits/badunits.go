@@ -1,6 +1,7 @@
-// Package badunits is a tilesimvet fixture: it adds and compares values
-// of two distinct //tilesim:unit types after laundering them through
-// float64 conversions, which the units analyzer must still catch.
+// Package badunits is a tilesimvet fixture: it adds, subtracts,
+// compares, and compound-assigns values of two distinct //tilesim:unit
+// types after laundering them through float64 conversions, which the
+// units analyzer must still catch — one case per operator.
 package badunits
 
 // Apples is a count of apples.
@@ -18,13 +19,49 @@ func Mix(a Apples, o Oranges) float64 {
 	return float64(a) + float64(o) // want: units finding here
 }
 
-// More compares apples against oranges.
+// Shrink subtracts oranges from apples.
+func Shrink(a Apples, o Oranges) float64 {
+	return float64(a) - float64(o) // want: units finding here
+}
+
+// More compares apples against oranges with >.
 func More(a Apples, o Oranges) bool {
 	return float64(a) > float64(o) // want: units finding here
+}
+
+// Less compares apples against oranges with <.
+func Less(a Apples, o Oranges) bool {
+	return float64(a) < float64(o) // want: units finding here
+}
+
+// AtLeast compares apples against oranges with >=.
+func AtLeast(a Apples, o Oranges) bool {
+	return float64(a) >= float64(o) // want: units finding here
+}
+
+// Accum compound-adds oranges into an apples-valued local.
+func Accum(a Apples, o Oranges) float64 {
+	t := float64(a)
+	t += float64(o) // want: units finding here
+	return t
+}
+
+// Drain compound-subtracts oranges from an apples-valued local.
+func Drain(a Apples, o Oranges) float64 {
+	t := float64(a)
+	t -= float64(o) // want: units finding here
+	return t
 }
 
 // Rate divides apples by oranges: ratios legitimately combine units, so
 // this must NOT be flagged.
 func Rate(a Apples, o Oranges) float64 {
 	return float64(a) / float64(o)
+}
+
+// Restock compound-adds within one unit, which must NOT be flagged.
+func Restock(a, more Apples) float64 {
+	t := float64(a)
+	t += float64(more)
+	return t
 }

@@ -1,11 +1,17 @@
 // Package clean is the tilesimvet negative control: it exercises every
-// rule's escape hatch — an annotated order-independent map range, a
-// properly prefixed panic, an exhaustive switch with a panicking
-// default, and unit arithmetic that stays within one unit — and must
-// produce zero findings.
+// rule's escape hatch — an annotated order-independent map range with
+// sorted-key float summation, a properly prefixed panic, an exhaustive
+// switch with a panicking default, unit arithmetic that stays within
+// one unit, a stable sort plus a //tilesim:totalorder unstable sort, a
+// Canonical() covering every exported field, and randomness threaded
+// through a seeded *rand.Rand — and must produce zero findings.
 package clean
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
 
 // Widgets is a unit-typed quantity.
 //
@@ -35,12 +41,18 @@ func Describe(m Mode) string {
 	}
 }
 
-// Total sums map values; the annotation records that summation is
-// order-independent.
+// Total sums map values in sorted-key order: collecting the keys is
+// order-independent (annotated), and the float accumulation itself runs
+// over the deterministic sorted slice.
 func Total(counts map[string]Widgets) Widgets {
+	keys := make([]string, 0, len(counts))
+	for k := range counts { //tilesim:ordered — keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var t Widgets
-	for _, w := range counts { //tilesim:ordered — summation is order-independent
-		t += w
+	for _, k := range keys {
+		t += counts[k]
 	}
 	return t
 }
@@ -49,4 +61,39 @@ func Total(counts map[string]Widgets) Widgets {
 // which the units analyzer must accept.
 func Scale(w Widgets) float64 {
 	return 2 * float64(w) / float64(numModes)
+}
+
+// SortStable uses the stable sort, the default sanctioned spelling.
+func SortStable(xs []int) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// SortTotal keeps the unstable sort under the total-order annotation.
+func SortTotal(xs []int) {
+	//tilesim:totalorder — distinct ints admit no ties
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Config is a cacheable configuration whose Canonical covers every
+// exported field.
+type Config struct {
+	Name  string
+	Level int
+}
+
+// Canonical encodes both fields.
+func (c Config) Canonical() string {
+	return fmt.Sprintf("name=%s level=%d", c.Name, c.Level)
+}
+
+// Jitter draws from an explicitly seeded generator: methods on a
+// *rand.Rand are the sanctioned alternative to the global source.
+func Jitter(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// Perturb reaches randomness only through Jitter's seeded generator,
+// so the taint pass must leave it alone.
+func Perturb(rng *rand.Rand, x float64) float64 {
+	return x + Jitter(rng)
 }

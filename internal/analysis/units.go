@@ -6,43 +6,128 @@ import (
 	"go/types"
 )
 
-// checkUnits flags additive arithmetic and comparisons that mix values
-// of two distinct declared physical units. Go's type system already
-// rejects mixed-type arithmetic on defined types, but the protection
-// evaporates the moment a value is converted to a raw float64 or int —
-// exactly what energy/latency bookkeeping code does constantly. This
-// analyzer tracks units *through* conversions to basic types, so
+// checkUnits flags additive arithmetic, compound assignment and
+// comparisons that mix values of two distinct declared physical units.
+// Go's type system already rejects mixed-type arithmetic on defined
+// types, but the protection evaporates the moment a value is converted
+// to a raw float64 or int — exactly what energy/latency bookkeeping
+// code does constantly. This analyzer tracks units *through*
+// conversions to basic types and through single-assignment locals, so
 //
 //	float64(cycles) + float64(joules)   // flagged: cycles vs joules
 //	float64(cycles) - float64(warmup)   // fine: both cycles
 //	float64(cycles) * perCycleJ         // fine: multiplication combines units
+//	j := float64(joules)
+//	j += float64(cycles)                // flagged: joules vs cycles
+//	float64(cycles) < float64(joules)   // flagged: ordered comparison
 //
 // Multiplication and division are exempt: they legitimately derive new
-// units (energy = power x time). Addition, subtraction and ordered
-// comparison of different units are always dimensional errors.
+// units (energy = power x time). Addition, subtraction, ordered
+// comparison and additive compound assignment (+=, -=) of different
+// units are always dimensional errors.
 func checkUnits(p *pass) {
 	for _, f := range p.pkg.Files {
+		// locals maps basic-typed local variables to the unit their
+		// single initializer carries ("" = unknown/conflicting), filled
+		// in source order by the same pre-order walk that checks uses.
+		locals := make(map[types.Object]string)
 		ast.Inspect(f, func(n ast.Node) bool {
-			be, ok := n.(*ast.BinaryExpr)
-			if !ok {
-				return true
-			}
-			switch be.Op {
-			case token.ADD, token.SUB,
-				token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
-			default:
-				return true
-			}
-			left := p.unitOf(be.X)
-			right := p.unitOf(be.Y)
-			if left != "" && right != "" && left != right {
-				p.reportf("units", be.OpPos,
-					"%s mixes units %s and %s; convert explicitly through the right physical relation",
-					be.Op, left, right)
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				p.checkAssignUnits(n, locals)
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB,
+					token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				default:
+					return true
+				}
+				left := p.unitOfTracked(n.X, locals)
+				right := p.unitOfTracked(n.Y, locals)
+				if left != "" && right != "" && left != right {
+					p.reportf("units", n.OpPos,
+						"%s mixes units %s and %s; convert explicitly through the right physical relation",
+						n.Op, left, right)
+				}
 			}
 			return true
 		})
 	}
+}
+
+// checkAssignUnits handles the assignment forms the binary-operator
+// sweep cannot see: additive compound assignment must not mix units,
+// and `:=` definitions propagate their initializer's unit onto
+// basic-typed locals (laundering a unit through a variable must not
+// launder it past the analyzer).
+func (p *pass) checkAssignUnits(n *ast.AssignStmt, locals map[types.Object]string) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+			return
+		}
+		left := p.unitOfTracked(n.Lhs[0], locals)
+		right := p.unitOfTracked(n.Rhs[0], locals)
+		if left != "" && right != "" && left != right {
+			p.reportf("units", n.TokPos,
+				"%s mixes units %s and %s; convert explicitly through the right physical relation",
+				n.Tok, left, right)
+		}
+	case token.DEFINE:
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			ident, ok := lhs.(*ast.Ident)
+			if !ok || ident.Name == "_" {
+				continue
+			}
+			obj := p.pkg.Info.Defs[ident]
+			if obj == nil {
+				continue
+			}
+			// Only basic-typed locals need tracking; named unit types
+			// carry their unit in the type itself.
+			if _, basic := obj.Type().Underlying().(*types.Basic); !basic {
+				continue
+			}
+			if p.unitOfType(obj.Type()) != "" {
+				continue
+			}
+			if _, seen := locals[obj]; seen {
+				locals[obj] = "" // redefinition: give up on this name
+				continue
+			}
+			locals[obj] = p.unitOfTracked(n.Rhs[i], locals)
+		}
+	case token.ASSIGN:
+		// Reassignment may change the variable's unit; drop tracking
+		// rather than guess.
+		for _, lhs := range n.Lhs {
+			if ident, ok := lhs.(*ast.Ident); ok {
+				if obj, ok := p.pkg.Info.Uses[ident]; ok {
+					if _, tracked := locals[obj]; tracked {
+						locals[obj] = ""
+					}
+				}
+			}
+		}
+	default: // other assignment operators neither define nor mix units additively
+	}
+}
+
+// unitOfTracked resolves the unit of an expression, consulting the
+// local single-assignment table for basic-typed identifiers before
+// falling back to type-level resolution.
+func (p *pass) unitOfTracked(e ast.Expr, locals map[types.Object]string) string {
+	if ident, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj, ok := p.pkg.Info.Uses[ident]; ok {
+			if u, tracked := locals[obj]; tracked && u != "" {
+				return u
+			}
+		}
+	}
+	return p.unitOf(e)
 }
 
 // unitOf resolves the physical unit an expression carries, following
