@@ -1,0 +1,104 @@
+package tilesim
+
+// The allocation gate pins the simulator's steady-state allocation rate
+// so hot-path regressions fail CI instead of silently eroding
+// throughput. ALLOC_BUDGET.json holds the ceiling; TestAllocGate
+// enforces it locally and the alloc-gate CI job enforces it against
+// BenchmarkAllocGate's -benchmem output. After a deliberate allocation
+// change, re-measure with
+//
+//	go test -run '^$' -bench '^BenchmarkAllocGate$' -benchtime 5x -benchmem .
+//
+// and update the measured_* fields and, if warranted, the ceilings.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"tilesim/internal/cmp"
+	"tilesim/internal/compress"
+)
+
+// allocBudget mirrors ALLOC_BUDGET.json.
+type allocBudget struct {
+	Benchmark           string `json:"benchmark"`
+	Config              string `json:"config"`
+	AllocsPerOpCeiling  uint64 `json:"allocs_per_op_ceiling"`
+	BytesPerOpCeiling   uint64 `json:"bytes_per_op_ceiling"`
+	MeasuredAllocsPerOp uint64 `json:"measured_allocs_per_op"`
+	BaselineAllocsPerOp uint64 `json:"baseline_allocs_per_op"`
+}
+
+func readAllocBudget(t testing.TB) allocBudget {
+	t.Helper()
+	raw, err := os.ReadFile("ALLOC_BUDGET.json")
+	if err != nil {
+		t.Fatalf("alloc gate: %v", err)
+	}
+	var b allocBudget
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("alloc gate: parse ALLOC_BUDGET.json: %v", err)
+	}
+	if b.AllocsPerOpCeiling == 0 {
+		t.Fatal("alloc gate: ALLOC_BUDGET.json has no allocs_per_op_ceiling")
+	}
+	return b
+}
+
+// allocGateConfig is the densest-workload configuration, identical to
+// BenchmarkSimulatorThroughput so the two series stay comparable.
+func allocGateConfig() cmp.RunConfig {
+	return cmp.RunConfig{
+		App:           "MP3D",
+		RefsPerCore:   2000,
+		Seed:          1,
+		Compression:   compress.Spec{Kind: "dbrc", Entries: 4, LowOrderBytes: 2},
+		Heterogeneous: true,
+	}
+}
+
+func runAllocGateOnce(t testing.TB) {
+	r, err := cmp.Run(allocGateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExecCycles == 0 {
+		t.Fatal("no progress")
+	}
+}
+
+// BenchmarkAllocGate is the measurement the CI alloc-gate job compares
+// against ALLOC_BUDGET.json. It is the throughput benchmark's workload
+// with allocation reporting; the ceiling is also reported as a metric
+// so a bench log is self-describing.
+func BenchmarkAllocGate(b *testing.B) {
+	budget := readAllocBudget(b)
+	b.ReportAllocs()
+	b.ReportMetric(float64(budget.AllocsPerOpCeiling), "alloc-ceiling/op")
+	for i := 0; i < b.N; i++ {
+		runAllocGateOnce(b)
+	}
+}
+
+// TestAllocGate enforces the ceiling in the ordinary test run, so a
+// plain `go test ./...` catches allocation regressions without the
+// bench harness. Skipped under the race detector and in -short mode:
+// race instrumentation allocates on its own behalf and would gate on
+// noise.
+func TestAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("full-run allocation measurement")
+	}
+	budget := readAllocBudget(t)
+	allocs := uint64(testing.AllocsPerRun(1, func() { runAllocGateOnce(t) }))
+	t.Logf("alloc gate: %d allocs/op (ceiling %d, recorded %d, pre-gate baseline %d)",
+		allocs, budget.AllocsPerOpCeiling, budget.MeasuredAllocsPerOp, budget.BaselineAllocsPerOp)
+	if allocs > budget.AllocsPerOpCeiling {
+		t.Errorf("alloc gate: %d allocs/op exceeds the ALLOC_BUDGET.json ceiling of %d",
+			allocs, budget.AllocsPerOpCeiling)
+	}
+}

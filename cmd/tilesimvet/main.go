@@ -40,8 +40,9 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	fix := flag.Bool("fix", false, "apply suggested fixes, then report only unfixable findings")
+	escapes := flag.Bool("escapes", false, "correlate compiler escape analysis (-gcflags=-m) with //tilesim:noescape and //tilesim:hotpath annotations instead of running the syntactic rules")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tilesimvet [-json] [-fix] <packages>\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tilesimvet [-json] [-fix] [-escapes] <packages>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,7 +52,15 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := analysis.Run(".", patterns)
+	run := analysis.Run
+	if *escapes {
+		if *fix {
+			fmt.Fprintln(os.Stderr, "tilesimvet: -escapes findings have no machine-applicable fixes; drop -fix")
+			os.Exit(2)
+		}
+		run = analysis.RunEscapes
+	}
+	diags, err := run(".", patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tilesimvet: %v\n", err)
 		os.Exit(2)

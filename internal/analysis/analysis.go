@@ -75,6 +75,28 @@ const (
 	// unstable sort cannot introduce tie-breaking nondeterminism. The
 	// annotation should be accompanied by a comment proving totality.
 	TotalOrderAnnotation = "tilesim:totalorder"
+	// HotPathAnnotation marks a function declaration as a simulator
+	// hot-path entry point (event loop, mesh transit, coherence
+	// handler). The hotalloc rule checks the annotated function and
+	// every module function transitively reachable from it for
+	// allocation sources.
+	HotPathAnnotation = "tilesim:hotpath"
+	// AllocOKAnnotation waives one hotalloc finding:
+	//
+	//	//tilesim:allocok one transit per message, pooled in Network.free
+	//
+	// The reason is mandatory, and a waiver that no longer suppresses a
+	// finding is itself reported as stale, so waivers cannot rot.
+	AllocOKAnnotation = "tilesim:allocok"
+	// SharedOKAnnotation waives one sharedstate finding the same way
+	// (mandatory reason, stale detection):
+	//
+	//	//tilesim:sharedok disjoint per-job slots, joined by wg.Wait
+	SharedOKAnnotation = "tilesim:sharedok"
+	// NoEscapeAnnotation asserts that the allocation on its line stays
+	// on the stack; `tilesimvet -escapes` fails when the compiler's
+	// escape analysis disagrees (see Escapes).
+	NoEscapeAnnotation = "tilesim:noescape"
 )
 
 // Diagnostic is one finding.
@@ -101,9 +123,16 @@ type pass struct {
 	fset  *token.FileSet
 	units map[string]string // "pkgpath.TypeName" -> unit name
 	// ordered maps file -> set of lines carrying //tilesim:ordered;
-	// totalorder does the same for //tilesim:totalorder.
+	// totalorder does the same for //tilesim:totalorder and hotpath
+	// for //tilesim:hotpath.
 	ordered    map[*ast.File]map[int]bool
 	totalorder map[*ast.File]map[int]bool
+	hotpath    map[*ast.File]map[int]bool
+	// allocok and sharedok map file -> line -> waiver reason (empty
+	// string when the annotation carries no reason, which is itself a
+	// finding).
+	allocok  map[*ast.File]map[int]string
+	sharedok map[*ast.File]map[int]string
 
 	report func(Diagnostic)
 }
@@ -198,6 +227,9 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 			units:      units,
 			ordered:    collectAnnotations(fset, pkg, OrderedAnnotation),
 			totalorder: collectAnnotations(fset, pkg, TotalOrderAnnotation),
+			hotpath:    collectAnnotations(fset, pkg, HotPathAnnotation),
+			allocok:    collectReasonAnnotations(fset, pkg, AllocOKAnnotation),
+			sharedok:   collectReasonAnnotations(fset, pkg, SharedOKAnnotation),
 			report:     report,
 		}
 		mod.passes = append(mod.passes, p)
@@ -216,6 +248,8 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 	graph := buildGraph(mod)
 	checkTaint(mod, graph)
 	checkCanonCover(mod, graph)
+	checkHotAlloc(mod, graph)
+	checkSharedState(mod, graph)
 
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -233,6 +267,25 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 	return diags, nil
 }
 
+// annotationRest returns the text following the given annotation when
+// the comment IS that annotation — the comment text starts with it
+// (optionally space-separated from the // marker). Prose that merely
+// mentions an annotation, and indented doc-comment examples (whose
+// trimmed text starts with a second //), do not count, so documenting
+// an annotation never accidentally applies it.
+func annotationRest(c *ast.Comment, annotation string) (string, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return "", false
+	}
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, annotation)
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
 // collectAnnotations indexes the lines of each file that carry the
 // given //tilesim:* annotation.
 func collectAnnotations(fset *token.FileSet, pkg *Package, annotation string) map[*ast.File]map[int]bool {
@@ -241,7 +294,7 @@ func collectAnnotations(fset *token.FileSet, pkg *Package, annotation string) ma
 		lines := make(map[int]bool)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if strings.Contains(c.Text, annotation) {
+				if _, ok := annotationRest(c, annotation); ok {
 					lines[fset.Position(c.Pos()).Line] = true
 				}
 			}
@@ -249,6 +302,37 @@ func collectAnnotations(fset *token.FileSet, pkg *Package, annotation string) ma
 		out[f] = lines
 	}
 	return out
+}
+
+// collectReasonAnnotations indexes the lines of each file carrying the
+// given annotation, mapped to the trailing free-text reason (empty when
+// the annotation stands alone).
+func collectReasonAnnotations(fset *token.FileSet, pkg *Package, annotation string) map[*ast.File]map[int]string {
+	out := make(map[*ast.File]map[int]string)
+	for _, f := range pkg.Files {
+		lines := make(map[int]string)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				reason, ok := annotationRest(c, annotation)
+				if !ok {
+					continue
+				}
+				lines[fset.Position(c.Pos()).Line] = reason
+			}
+		}
+		out[f] = lines
+	}
+	return out
+}
+
+// fileOf returns the pass's file containing pos, or nil.
+func (p *pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
 }
 
 // collectUnits records every //tilesim:unit-annotated type declaration

@@ -37,6 +37,8 @@ func TestFixtureFindings(t *testing.T) {
 		{"badfloat", "floatorder", 3},
 		{"badcanon", "canoncover", 1},
 		{"badmetricskeys", "metricskeys", 3},
+		{"badhotalloc", "hotalloc", 11},
+		{"badsharedstate", "sharedstate", 6},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -81,6 +83,8 @@ func TestFixtureFindingsAnchored(t *testing.T) {
 		{"badtaint", []int{16, 19, 24, 31, 35}},
 		{"badcanon", []int{25}},
 		{"badmetricskeys", []int{23, 30, 37}},
+		{"badhotalloc", []int{26, 28, 30, 31, 32, 37, 39, 41, 43, 54, 55}},
+		{"badsharedstate", []int{34, 37, 38, 40, 44, 58}},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -122,7 +126,7 @@ func TestTaintFixture(t *testing.T) {
 // new-rule fixture against its checked-in want.txt, pinning message
 // wording, positions, and ordering all at once.
 func TestGoldenFixtures(t *testing.T) {
-	for _, fixture := range []string{"badsort", "badfloat", "badtaint", "badcanon", "badmetricskeys"} {
+	for _, fixture := range []string{"badsort", "badfloat", "badtaint", "badcanon", "badmetricskeys", "badhotalloc", "badsharedstate"} {
 		t.Run(fixture, func(t *testing.T) {
 			diags := runFixture(t, fixture)
 			var b strings.Builder
@@ -157,6 +161,11 @@ func TestFixturesCarryFixes(t *testing.T) {
 		// literal-message findings are mechanically fixable.
 		{"badpanic", "panics", 2},
 		{"badobs", "obshooks", 1},
+		// The capacity-less append whose slice is created by []int{} in
+		// the same body, ranging over an in-scope value, gets the
+		// make-with-capacity rewrite; the other hotalloc findings need
+		// structural changes no rewrite can guess.
+		{"badhotalloc", "hotalloc", 1},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {

@@ -1,0 +1,300 @@
+package analysis
+
+// The escapes analyzer (tilesimvet -escapes) correlates the compiler's
+// escape-analysis decisions with the module's annotations, closing the
+// gap the syntactic hotalloc rule leaves open: hotalloc sees explicit
+// allocation forms (&T{}, make, closures, boxing call sites), while the
+// compiler also heap-allocates values it merely *decides* escape — a
+// local moved to the heap because a closure outlives it, a value
+// leaking through an interface the type checker cannot see locally.
+//
+// Two annotation interactions:
+//
+//   - //tilesim:noescape <reason> asserts that nothing on its line (or
+//     the line below, when the annotation stands alone) escapes to the
+//     heap. If the compiler disagrees ("escapes to heap" / "moved to
+//     heap"), the assertion is violated and reported. If the compiler
+//     makes no escape decision there at all, the annotation is stale
+//     and reported, like an unused waiver.
+//   - Inside //tilesim:hotpath-annotated functions, every compiler
+//     escape not covered by a //tilesim:allocok waiver, a
+//     //tilesim:noescape assertion (reported as a violation instead)
+//     or a panic argument is a "new escape" finding: the hot path
+//     gained a heap allocation the syntactic rules did not see.
+//
+// The mode shells out to `go build -gcflags=-m` (diagnostics replay
+// from the build cache on unchanged packages) and is therefore split
+// from Run: it needs a compile, not just a parse.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeDiag is one compiler escape-analysis line.
+type escapeDiag struct {
+	file string // absolute path
+	line int
+	col  int
+	msg  string
+	heap bool // "escapes to heap" or "moved to heap" (vs. a benign decision)
+}
+
+// RunEscapes implements tilesimvet -escapes: it loads the matched
+// packages, compiles them with -gcflags=-m, and reports violated and
+// stale //tilesim:noescape assertions plus unwaived compiler escapes
+// inside //tilesim:hotpath functions. Findings are sorted by position.
+func RunEscapes(dir string, patterns []string) ([]Diagnostic, error) {
+	pkgs, fset, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	escapes, err := compilerEscapes(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// Index compiler output by absolute file path and line. decided
+	// marks lines where the compiler made any escape decision at all
+	// (including benign "does not escape" / "leaking param" ones), so
+	// a holding assertion is distinguishable from a stale one.
+	heapByLine := make(map[string]map[int][]escapeDiag)
+	decided := make(map[string]map[int]bool)
+	for _, d := range escapes {
+		if decided[d.file] == nil {
+			decided[d.file] = make(map[int]bool)
+		}
+		decided[d.file][d.line] = true
+		if d.heap {
+			if heapByLine[d.file] == nil {
+				heapByLine[d.file] = make(map[int][]escapeDiag)
+			}
+			heapByLine[d.file][d.line] = append(heapByLine[d.file][d.line], d)
+		}
+	}
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range pkgs {
+		p := &pass{
+			pkg:     pkg,
+			fset:    fset,
+			hotpath: collectAnnotations(fset, pkg, HotPathAnnotation),
+			allocok: collectReasonAnnotations(fset, pkg, AllocOKAnnotation),
+			report:  report,
+		}
+		noescape := collectReasonAnnotations(fset, pkg, NoEscapeAnnotation)
+		for _, f := range pkg.Files {
+			file := p.fset.Position(f.Pos()).Filename
+			checkNoEscapeAssertions(p, f, noescape[f], heapByLine[file], decided[file])
+			checkHotFunctionEscapes(p, f, noescape[f], heapByLine[file])
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// checkNoEscapeAssertions validates every //tilesim:noescape annotation
+// in f against the compiler's decisions: heap escape on the covered
+// lines -> violation; no decision at all -> stale assertion. An
+// annotation without a reason is reported like the other waiver kinds.
+func checkNoEscapeAssertions(p *pass, f *ast.File, asserts map[int]string, heap map[int][]escapeDiag, decided map[int]bool) {
+	if len(asserts) == 0 {
+		return
+	}
+	lines := make([]int, 0, len(asserts))
+	for line := range asserts { //tilesim:ordered — lines are sorted below
+		lines = append(lines, line)
+	}
+	sort.Ints(lines)
+	for _, line := range lines {
+		if asserts[line] == "" {
+			p.reportf("escapes", lineStartPos(p, f, line),
+				"//%s annotation needs a reason", NoEscapeAnnotation)
+		}
+		// The annotation covers its own line (trailing comment) and
+		// the line below (standalone comment above the statement).
+		var hits []escapeDiag
+		anyDecision := false
+		for _, l := range []int{line, line + 1} {
+			hits = append(hits, heap[l]...)
+			if decided[l] || len(heap[l]) > 0 {
+				anyDecision = true
+			}
+		}
+		switch {
+		case len(hits) > 0:
+			for _, h := range hits {
+				p.reportf("escapes", lineStartPos(p, f, h.line),
+					"//%s assertion violated: %s", NoEscapeAnnotation, h.msg)
+			}
+		case !anyDecision:
+			p.reportf("escapes", lineStartPos(p, f, line),
+				"stale //%s assertion: the compiler reports no escape decision on this or the next line", NoEscapeAnnotation)
+		}
+	}
+}
+
+// checkHotFunctionEscapes reports compiler heap escapes inside
+// //tilesim:hotpath-annotated function bodies that no annotation
+// accounts for. Panic arguments are exempt: the crash path may
+// allocate freely.
+func checkHotFunctionEscapes(p *pass, f *ast.File, asserts map[int]string, heap map[int][]escapeDiag) {
+	if len(heap) == 0 {
+		return
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if !commentGroupHas(fd.Doc, HotPathAnnotation) && !p.annotatedAt(p.hotpath, f, fd.Pos()) {
+			continue
+		}
+		panics := panicLines(p, fd.Body)
+		from := p.fset.Position(fd.Body.Pos()).Line
+		to := p.fset.Position(fd.Body.End()).Line
+		for line := from; line <= to; line++ {
+			for _, h := range heap[line] {
+				if _, _, ok := waiverAt(p, p.allocok, f, lineStartPos(p, f, line)); ok {
+					continue
+				}
+				if asserts != nil {
+					if _, hasAssert := asserts[line]; hasAssert {
+						continue // reported as a violation already
+					}
+					if _, hasAssert := asserts[line-1]; hasAssert {
+						continue
+					}
+				}
+				if panics[line] {
+					continue
+				}
+				// Inlining attributes a callee's panic-path string
+				// constants to the call-site line, where no syntactic
+				// panic is visible. Constant strings are static data
+				// that reach the heap only on the crash path (the
+				// panics analyzer already forces panic messages to be
+				// constants), so they are never a per-event cost.
+				if strings.HasPrefix(h.msg, `"`) && strings.Contains(h.msg, `" escapes`) {
+					continue
+				}
+				p.reportf("escapes", lineStartPos(p, f, line),
+					"new escape on a hot path (%s): %s; restructure, or waive with //%s",
+					fd.Name.Name, h.msg, AllocOKAnnotation)
+			}
+		}
+	}
+}
+
+// panicLines returns the set of source lines covered by panic-call
+// arguments within body.
+func panicLines(p *pass, body *ast.BlockStmt) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := call.Fun.(*ast.Ident)
+		if !ok || ident.Name != "panic" || !isBuiltin(p, ident) {
+			return true
+		}
+		from := p.fset.Position(call.Pos()).Line
+		to := p.fset.Position(call.End()).Line
+		for l := from; l <= to; l++ {
+			lines[l] = true
+		}
+		return true
+	})
+	return lines
+}
+
+// compilerEscapes runs `go build -gcflags=-m` on the patterns and
+// parses the diagnostics. Unchanged packages replay their diagnostics
+// from the build cache, so repeat runs are cheap.
+func compilerEscapes(dir string, patterns []string) ([]escapeDiag, error) {
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	var out []escapeDiag
+	for _, raw := range strings.Split(stderr.String(), "\n") {
+		d, ok := parseEscapeLine(raw)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(d.file) {
+			d.file = filepath.Join(absDir, d.file)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// parseEscapeLine parses one `file.go:line:col: message` compiler line,
+// keeping only escape-analysis decisions. heap is set for messages that
+// mean a heap allocation; benign decisions ("does not escape",
+// "leaking param") are kept so assertion staleness is decidable.
+func parseEscapeLine(raw string) (escapeDiag, bool) {
+	line := strings.TrimSpace(raw)
+	if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "<autogenerated>") {
+		return escapeDiag{}, false
+	}
+	heap := strings.Contains(line, "escapes to heap") || strings.Contains(line, "moved to heap")
+	benign := strings.Contains(line, "does not escape") || strings.Contains(line, "leaking param")
+	if !heap && !benign {
+		return escapeDiag{}, false
+	}
+	// file.go:line:col: msg — find ".go:" to survive volume-less
+	// relative paths without fragile colon counting.
+	idx := strings.Index(line, ".go:")
+	if idx < 0 {
+		return escapeDiag{}, false
+	}
+	file := line[:idx+3]
+	rest := line[idx+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return escapeDiag{}, false
+	}
+	lineNo, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return escapeDiag{}, false
+	}
+	return escapeDiag{
+		file: file,
+		line: lineNo,
+		col:  col,
+		msg:  strings.TrimSpace(parts[2]),
+		heap: heap,
+	}, true
+}

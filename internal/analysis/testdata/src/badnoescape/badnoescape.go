@@ -1,0 +1,39 @@
+// Package badnoescape is a fixture for tilesimvet -escapes: leak's
+// assertion is violated (the annotated pointer escapes through the
+// return), stale's assertion covers a line the compiler makes no escape
+// decision about, reasonless omits the mandatory reason, and Hot gains
+// a compiler escape that no annotation accounts for.
+package badnoescape
+
+// Box escapes through returned pointers.
+type Box struct{ N int }
+
+// leak returns the pointer its annotation claims stays on the stack.
+func leak() *Box {
+	//tilesim:noescape fixture: asserted wrongly, the pointer is returned
+	b := &Box{N: 1} // want: assertion violated
+	return b
+}
+
+// stale annotates a line with no escape decision at all.
+func stale() int {
+	//tilesim:noescape fixture: nothing for the compiler to decide here
+	x := 1 // want: stale assertion
+	return x
+}
+
+// reasonless omits the mandatory reason (and is violated too).
+func reasonless() *Box {
+	//tilesim:noescape
+	return &Box{N: 2} // want: needs a reason, and violated
+}
+
+// Hot is a hot path that heap-allocates without any annotation.
+//
+//tilesim:hotpath fixture escape root
+func Hot(n int) *Box {
+	return &Box{N: n} // want: new escape on a hot path
+}
+
+// Use keeps the unexported fixtures referenced.
+func Use() (*Box, int, *Box) { return leak(), stale(), reasonless() }

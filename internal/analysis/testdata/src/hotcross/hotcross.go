@@ -1,0 +1,38 @@
+// Package hotcross is a tilesimvet fixture for the reference graph's
+// stored-reference edges: the annotated root reaches inner.Alloc across
+// the package boundary through a function literal that is assigned to a
+// struct field and only ever invoked by a *different* function, and
+// reaches bump through a method value that is stored without being
+// called. Both callees must still be scanned as hot.
+package hotcross
+
+import "tilesim/internal/analysis/testdata/src/hotcross/inner"
+
+// sink carries the stored literal; emit is a field conduit node in the
+// reference graph.
+type sink struct {
+	emit func() *inner.Box
+}
+
+type counter struct{ n int }
+
+// bump is hot only through the stored method value in Dispatch.
+func (c *counter) bump() *counter {
+	return &counter{n: c.n + 1} // want: composite literal (via the stored method value)
+}
+
+// Dispatch is the fixture's annotated entry point.
+//
+//tilesim:hotpath fixture cross-package root
+func Dispatch(c *counter) *inner.Box {
+	var s sink
+	s.emit = func() *inner.Box { return inner.Alloc() }
+	cb := c.bump // want: method value
+	_ = cb
+	return run(s)
+}
+
+// run invokes the stored literal through the field; Dispatch never
+// calls it directly, so reaching inner.Alloc proves the field-conduit
+// edge.
+func run(s sink) *inner.Box { return s.emit() }

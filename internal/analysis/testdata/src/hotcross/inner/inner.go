@@ -1,0 +1,12 @@
+// Package inner is the cross-package callee of the hotcross fixture:
+// its allocation is hot only through the literal the hotcross package
+// stores into a struct field.
+package inner
+
+// Box is the allocated object.
+type Box struct{ N int }
+
+// Alloc is reached from hotcross.Dispatch via the stored literal.
+func Alloc() *Box {
+	return &Box{} // want: composite literal (via the cross-package edge)
+}

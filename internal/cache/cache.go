@@ -160,9 +160,20 @@ func (c *Cache) Access(addr uint64) *Line {
 	return nil
 }
 
+// Set returns the cache set that addr maps to, in way order, without
+// allocating: the slice aliases the cache's line storage. Callers may
+// mutate line state through it but must not change Block of a valid
+// line.
+//
+//tilesim:noescape the returned slice aliases the line array; victim scans rely on Set never allocating
+func (c *Cache) Set(addr uint64) []Line {
+	return c.setOf(c.BlockOf(addr))
+}
+
 // SetLines returns pointers to every line (valid or not) of the set that
 // addr maps to, in way order. Callers may mutate states but must not
-// change Block of a valid line.
+// change Block of a valid line. Hot paths should use Set, which does
+// not allocate.
 func (c *Cache) SetLines(addr uint64) []*Line {
 	set := c.setOf(c.BlockOf(addr))
 	out := make([]*Line, len(set))

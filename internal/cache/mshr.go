@@ -87,6 +87,7 @@ func (m *MSHR) Allocate(block uint64) *MSHREntry {
 	if m.entries[block] != nil {
 		panic(fmt.Sprintf("cache: duplicate MSHR entry for block %#x", block))
 	}
+	//tilesim:allocok per-miss MSHR entry, freed on transaction completion; pooling tracked in ROADMAP
 	e := &MSHREntry{Block: block}
 	m.entries[block] = e
 	return e
@@ -100,6 +101,7 @@ func (m *MSHR) AllocateOver(block uint64) *MSHREntry {
 	if m.entries[block] != nil {
 		panic(fmt.Sprintf("cache: duplicate MSHR entry for block %#x", block))
 	}
+	//tilesim:allocok per-miss MSHR entry, freed on transaction completion; pooling tracked in ROADMAP
 	e := &MSHREntry{Block: block}
 	m.entries[block] = e
 	return e

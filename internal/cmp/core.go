@@ -15,6 +15,11 @@ type Core struct {
 	sys *System
 	gen workload.Generator
 
+	// stepFn is c.step bound once at construction: the method value
+	// c.step allocates a fresh bound-method closure at every
+	// evaluation, and step is scheduled once per executed operation.
+	stepFn sim.Event
+
 	done       bool
 	finishedAt sim.Time
 	warmed     bool
@@ -26,20 +31,27 @@ type Core struct {
 }
 
 func newCore(id int, sys *System, gen workload.Generator) *Core {
-	return &Core{id: id, sys: sys, gen: gen}
+	c := &Core{id: id, sys: sys, gen: gen}
+	c.stepFn = c.step
+	return c
 }
 
 func (c *Core) start() {
-	c.sys.K.Schedule(0, c.step)
+	c.sys.K.Schedule(0, c.stepFn)
 }
 
+// step executes the core's next workload operation; it is the event
+// the kernel dispatches once per compute phase, memory reference and
+// barrier arrival.
+//
+//tilesim:hotpath per-operation core dispatch
 func (c *Core) step() {
 	// Measurement starts once every core has issued its warmup refs;
 	// the warmup barrier also aligns the cores, like the start of the
 	// timed parallel phase in the paper's methodology.
 	if !c.warmed && c.sys.cfg.WarmupRefs > 0 && c.Refs >= uint64(c.sys.cfg.WarmupRefs) {
 		c.warmed = true
-		c.sys.warm.arrive(c.sys.K, c.step)
+		c.sys.warm.arrive(c.sys.K, c.stepFn)
 		return
 	}
 	op, ok := c.gen.Next(c.id)
@@ -51,16 +63,16 @@ func (c *Core) step() {
 	switch op.Kind {
 	case workload.OpCompute:
 		c.ComputeCycles += uint64(op.Cycles)
-		c.sys.K.Schedule(sim.Time(op.Cycles), c.step)
+		c.sys.K.Schedule(sim.Time(op.Cycles), c.stepFn)
 	case workload.OpLoad:
 		c.Refs++
-		c.sys.Proto.L1(c.id).Load(op.Addr, c.step)
+		c.sys.Proto.L1(c.id).Load(op.Addr, c.stepFn)
 	case workload.OpStore:
 		c.Refs++
-		c.sys.Proto.L1(c.id).Store(op.Addr, c.step)
+		c.sys.Proto.L1(c.id).Store(op.Addr, c.stepFn)
 	case workload.OpBarrier:
 		c.Barriers++
-		c.sys.bar.arrive(c.sys.K, c.step)
+		c.sys.bar.arrive(c.sys.K, c.stepFn)
 	}
 }
 

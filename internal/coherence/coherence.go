@@ -139,6 +139,8 @@ func (p *Protocol) Config() Config { return p.cfg }
 
 // Deliver routes an arriving message to the right controller at its
 // destination tile.
+//
+//tilesim:hotpath coherence dispatch, once per delivered message
 func (p *Protocol) Deliver(m *noc.Message) {
 	switch m.Type {
 	case noc.GetS, noc.GetX, noc.Upgrade, noc.WriteBack, noc.ReplacementHint, noc.Revision, noc.OwnAck:
@@ -166,6 +168,7 @@ func (p *Protocol) txn() uint64 {
 
 // msg builds a protocol message with simulator-tracked address.
 func (p *Protocol) msg(t noc.Type, src, dst int, addr uint64, txn uint64) *noc.Message {
+	//tilesim:allocok one message header per protocol message; its lifetime crosses the mesh, pooling tracked in ROADMAP
 	return &noc.Message{Type: t, Src: src, Dst: dst, Addr: addr, Txn: txn}
 }
 

@@ -88,6 +88,7 @@ func (h *HomeController) entry(block uint64) *dirEntry {
 	if e, ok := h.dir[block]; ok {
 		return e
 	}
+	//tilesim:allocok per-active-block directory entry, released when the block goes idle
 	e := &dirEntry{owner: -1}
 	h.dir[block] = e
 	return e
@@ -139,8 +140,10 @@ func (h *HomeController) deliver(m *noc.Message) {
 	case noc.GetS, noc.GetX, noc.Upgrade:
 		h.Requests.Inc()
 		// Charge the directory/tag lookup.
+		//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 		h.p.k.Schedule(sim.Time(h.p.cfg.L2TagCycles), func() { h.handleRequest(m, block) })
 	case noc.WriteBack, noc.ReplacementHint:
+		//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 		h.p.k.Schedule(sim.Time(h.p.cfg.L2TagCycles), func() { h.handleReplacement(m, block) })
 	case noc.Revision:
 		h.handleRevision(m, block)
@@ -186,6 +189,7 @@ func (h *HomeController) handleGetS(m *noc.Message, block uint64, e *dirEntry) {
 		h.p.send(fwd)
 		return
 	}
+	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 	h.ensureData(block, e, func(delay sim.Time) {
 		// Directory mutation happens NOW (the serialization point);
 		// only the grant message waits for the data array.
@@ -215,8 +219,10 @@ func (h *HomeController) sendDataGrant(grant *noc.Message, delay sim.Time) {
 		pr := h.p.msg(noc.PartialReply, grant.Src, grant.Dst, grant.Addr, grant.Txn)
 		pr.AckCount = grant.AckCount
 		grant.Relaxed = true
+		//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 		h.p.k.Schedule(delay, func() { h.p.send(pr) })
 	}
+	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 	h.p.k.Schedule(delay, func() { h.p.send(grant) })
 }
 
@@ -236,6 +242,7 @@ func (h *HomeController) handleGetX(m *noc.Message, block uint64, e *dirEntry) {
 		h.p.send(fwd)
 		return
 	}
+	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 	h.ensureData(block, e, func(delay sim.Time) {
 		others := e.sharers &^ (1 << uint(m.Src))
 		h.invalidateSharers(others, block, m.Src, m.Txn)
@@ -437,6 +444,7 @@ func (h *HomeController) ensureData(block uint64, e *dirEntry, cont func(delay s
 	h.L2Misses.Inc()
 	h.MemFetches.Inc()
 	e.busy, e.kind = true, txnFill
+	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 	h.p.k.Schedule(sim.Time(h.p.cfg.MemCycles), func() { h.fillL2(block, e, cont) })
 }
 
@@ -446,9 +454,11 @@ func (h *HomeController) fillL2(block uint64, e *dirEntry, cont func(delay sim.T
 	victim := h.pickL2Victim(block)
 	if victim == nil {
 		// Every way's block is mid-transaction; retry shortly.
+		//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 		h.p.k.Schedule(8, func() { h.fillL2(block, e, cont) })
 		return
 	}
+	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 	finish := func() {
 		h.l2.Insert(block, cache.Shared) // clean w.r.t. memory
 		// The fill transaction ends here; cont may immediately open an
@@ -485,6 +495,7 @@ func (h *HomeController) fillL2(block uint64, e *dirEntry, cont func(delay sim.T
 		ve.recallAcks = bits.OnesCount32(ve.sharers)
 		h.recallSharers(ve.sharers, vblock, h.p.txn())
 	}
+	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 	ve.afterRecall = func() {
 		h.l2.Invalidate(vblock)
 		finish()
@@ -500,7 +511,9 @@ func (h *HomeController) pickL2Victim(block uint64) *cache.Line {
 		return v
 	}
 	var best *cache.Line
-	for _, cand := range h.l2.SetLines(block) {
+	set := h.l2.Set(block)
+	for i := range set {
+		cand := &set[i]
 		if !cand.Valid() {
 			return cand
 		}

@@ -46,14 +46,20 @@ func (l *L1Controller) Cache() *cache.Cache { return l.cache }
 
 // Load performs a read; done runs when the data is available. The L1 hit
 // latency is charged here.
+//
+//tilesim:hotpath L1 read entry, once per load reference
 func (l *L1Controller) Load(addr uint64, done func()) {
 	l.Loads.Inc()
+	//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
 	l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), func() { l.access(addr, false, done) })
 }
 
 // Store performs a write; done runs when ownership is obtained.
+//
+//tilesim:hotpath L1 write entry, once per store reference
 func (l *L1Controller) Store(addr uint64, done func()) {
 	l.Stores.Inc()
+	//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
 	l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), func() { l.access(addr, true, done) })
 }
 
@@ -63,6 +69,7 @@ func (l *L1Controller) access(addr uint64, isWrite bool, done func()) {
 	// the access from scratch. Covers re-references to writeback-buffered
 	// blocks and (with non-blocking cores) same-block coalescing.
 	if e := l.mshr.Lookup(block); e != nil {
+		//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
 		e.Waiters = append(e.Waiters, func() { l.access(addr, isWrite, done) })
 		return
 	}
@@ -99,8 +106,10 @@ func (l *L1Controller) access(addr uint64, isWrite bool, done func()) {
 func (l *L1Controller) startMiss(block uint64, req noc.Type, done func()) {
 	if l.mshr.Full() {
 		// All registers busy (writeback bursts): retry shortly.
+		//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
 		l.p.k.Schedule(4, func() {
 			if e := l.mshr.Lookup(block); e != nil {
+				//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
 				e.Waiters = append(e.Waiters, func() { l.retryAfter(block, req, done) })
 				return
 			}
@@ -121,6 +130,7 @@ func (l *L1Controller) startMiss(block uint64, req noc.Type, done func()) {
 			spanID = id
 		}
 	}
+	//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
 	finish := func() {
 		l.MissLatency.Observe(float64(l.p.k.Now() - start))
 		if l.p.tracer != nil && spanID != 0 {
@@ -297,7 +307,9 @@ func (l *L1Controller) victimAvoidingMSHR(block uint64) *cache.Line {
 		return v
 	}
 	var best *cache.Line
-	for _, cand := range l.cache.SetLines(block) {
+	set := l.cache.Set(block)
+	for i := range set {
+		cand := &set[i]
 		if !cand.Valid() {
 			return cand
 		}
@@ -396,7 +408,9 @@ func (l *L1Controller) onFwd(m *noc.Message, exclusive bool) {
 	l.Interventions.Inc()
 	block := l.cache.BlockOf(m.Addr)
 	home := HomeOf(block, l.p.cfg.Tiles)
+	//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
 	respond := func(dirty bool, fromBuffer bool) {
+		//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
 		l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), func() {
 			data := l.p.msg(noc.Data, l.id, m.ReplyTo, block, m.Txn)
 			data.DataBytes = noc.LineBytes
@@ -425,6 +439,7 @@ func (l *L1Controller) onFwd(m *noc.Message, exclusive bool) {
 		// it, so service it once we complete. The completion depends
 		// only on messages already in flight, never on the intervening
 		// requestor, so this cannot deadlock.
+		//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
 		e.Waiters = append(e.Waiters, func() { l.onFwd(m, exclusive) })
 		return
 	}

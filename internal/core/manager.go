@@ -128,6 +128,8 @@ func streamOf(t noc.Type) compress.Stream {
 
 // Send sizes, compresses and routes one protocol message. It is the
 // Sender the coherence protocol is constructed with.
+//
+//tilesim:hotpath message sizing/compression/routing, once per protocol message
 func (m *Manager) Send(msg *noc.Message) {
 	if msg.Src == msg.Dst {
 		// Tile-local: L1 and home on the same tile; no link, no
@@ -135,6 +137,7 @@ func (m *Manager) Send(msg *noc.Message) {
 		// that travel on the interconnect).
 		msg.SizeBytes = msg.UncompressedSize()
 		m.LocalMsgs.Inc()
+		//tilesim:allocok tile-local delivery continuation: local messages bypass the mesh
 		m.k.Schedule(m.cfg.LocalDelay, func() { m.deliver(msg) })
 		return
 	}

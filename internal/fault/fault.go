@@ -221,6 +221,7 @@ func NewStream(seed int64, salts ...uint64) *Stream {
 	for _, s := range salts {
 		state = mix64(state ^ (s + 0x9e3779b97f4a7c15))
 	}
+	//tilesim:allocok stream derivation: one per link/router stream, cached by the caller
 	return &Stream{state: state}
 }
 

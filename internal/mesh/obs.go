@@ -96,6 +96,7 @@ func (n *Network) recordBreakdown(t *transit, class noc.Class) {
 	bd.Retry += retry
 
 	if n.tracer != nil && t.traceID != 0 {
+		//tilesim:allocok sampled-span emission: guarded by tracer and trace id
 		args := []obs.Arg{
 			{Key: "hops", Val: float64(hops)},
 			{Key: "flits", Val: float64(t.flits)},
@@ -122,8 +123,10 @@ func (n *Network) recordBreakdown(t *transit, class noc.Class) {
 func (n *Network) traceLinkOccupancy(m *noc.Message, plane Plane, from, to int, start sim.Time, flits noc.FlitCount) {
 	tid := n.linkIndex(from, to)*int(numPlanes) + int(plane)
 	n.tracer.SetTrackName(obs.PidLinks, tid,
+		//tilesim:allocok sampled-span emission: guarded by tracer and trace id
 		fmt.Sprintf("%02d->%02d.%s", from, to, plane))
 	n.tracer.Complete(obs.PidLinks, tid, m.Type.String(), "link",
+		//tilesim:allocok sampled-span emission: guarded by tracer and trace id
 		uint64(start), uint64(flits), []obs.Arg{
 			{Key: "flits", Val: float64(flits)},
 			{Key: "bytes", Val: float64(m.SizeBytes)},

@@ -58,6 +58,7 @@ func (t Topology) Hops(src, dst int) int {
 // route means src == dst.
 func (t Topology) RouteXY(src, dst int) []int {
 	a, b := t.CoordOf(src), t.CoordOf(dst)
+	//tilesim:allocok route-cache miss: one route per (src,dst) pair per run, cached by Network.routeOf
 	route := make([]int, 0, abs(a.X-b.X)+abs(a.Y-b.Y))
 	for a.X != b.X {
 		if a.X < b.X {

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -27,27 +26,63 @@ type scheduledEvent struct {
 	fn  Event
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq).
+// container/heap would box every scheduledEvent into an interface on
+// Push and Pop — one heap allocation per event, which at ~2M events per
+// MP3D run was the kernel's entire allocation bill. Because (at, seq)
+// is unique per event the ordering is a strict total order, so the pop
+// sequence of any correct min-heap is identical and the swap to a
+// concrete heap preserves bit-for-bit reproducibility.
 type eventHeap []scheduledEvent
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+//tilesim:noescape the event is copied into the existing heap slice; one push must never heap-allocate on its own
+func (h *eventHeap) push(ev scheduledEvent) {
+	*h = append(*h, ev)
+	s := *h
+	// Sift the new element up to its place.
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduledEvent)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+//tilesim:noescape pop returns the minimum by value and shrinks in place; the event-loop path stays allocation-free
+func (h *eventHeap) pop() scheduledEvent {
+	s := *h
+	n := len(s) - 1
+	min := s[0]
+	s[0] = s[n]
+	s[n] = scheduledEvent{} // release the callback for GC
+	*h = s[:n]
+	s = s[:n]
+	// Sift the relocated tail element down to its place.
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && s.less(right, left) {
+			child = right
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return min
 }
 
 // Kernel is the event queue and simulated clock. The zero value is not
@@ -63,9 +98,7 @@ type Kernel struct {
 
 // NewKernel returns an empty kernel at cycle 0.
 func NewKernel() *Kernel {
-	k := &Kernel{}
-	heap.Init(&k.events)
-	return k
+	return &Kernel{}
 }
 
 // Now returns the current simulated cycle.
@@ -86,6 +119,8 @@ func (k *Kernel) Schedule(delay Time, fn Event) {
 // ScheduleAt runs fn at absolute cycle at. Scheduling in the past panics:
 // it is always a component bug, and silently reordering events would
 // destroy reproducibility.
+//
+//tilesim:hotpath event-queue insertion, once per scheduled event
 func (k *Kernel) ScheduleAt(at Time, fn Event) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past (at=%d, now=%d)", at, k.now))
@@ -94,16 +129,18 @@ func (k *Kernel) ScheduleAt(at Time, fn Event) {
 		panic("sim: nil event")
 	}
 	k.seq++
-	heap.Push(&k.events, scheduledEvent{at: at, seq: k.seq, fn: fn})
+	k.events.push(scheduledEvent{at: at, seq: k.seq, fn: fn})
 }
 
 // Step executes the single earliest event, advancing the clock to its
 // timestamp. It returns false if the queue is empty.
+//
+//tilesim:hotpath event-loop dispatch, once per executed event
 func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&k.events).(scheduledEvent)
+	ev := k.events.pop()
 	k.now = ev.at
 	k.processed++
 	ev.fn()

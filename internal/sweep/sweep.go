@@ -125,12 +125,14 @@ func (r *Runner) Run(cfgs []cmp.RunConfig) []JobResult {
 			for i := range work {
 				if r.Cache != nil && keys[i] != "" {
 					if res, ok := r.Cache.Get(keys[i]); ok {
+						//tilesim:sharedok disjoint per-job slots; each index is owned by exactly one worker, joined by wg.Wait
 						out[i].Result, out[i].Cached = res, true
 						report(1 + dups[i])
 						continue
 					}
 				}
 				res, err := run(cfgs[i])
+				//tilesim:sharedok disjoint per-job slots; each index is owned by exactly one worker, joined by wg.Wait
 				out[i].Result, out[i].Err = res, err
 				if err == nil && r.Cache != nil && keys[i] != "" {
 					r.Cache.Put(keys[i], res)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tilesim
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package tilesim
+
+// raceEnabled reports whether the binary was built with -race; the
+// allocation gate skips itself then, because race instrumentation
+// allocates shadow state the budget does not model.
+const raceEnabled = true
