@@ -28,6 +28,11 @@ type allocBudget struct {
 	BytesPerOpCeiling   uint64 `json:"bytes_per_op_ceiling"`
 	MeasuredAllocsPerOp uint64 `json:"measured_allocs_per_op"`
 	BaselineAllocsPerOp uint64 `json:"baseline_allocs_per_op"`
+	// Scale-study gate (DESIGN.md §14.6): the 1024-tile cell budgets
+	// allocations per tile, so the growing machine never needs the
+	// 16-tile global ceiling raised on its behalf.
+	ScaleAllocsPerTileCeiling  uint64 `json:"scale_allocs_per_tile_ceiling"`
+	ScaleMeasuredAllocsPerTile uint64 `json:"scale_measured_allocs_per_tile"`
 }
 
 func readAllocBudget(t testing.TB) allocBudget {
@@ -78,6 +83,73 @@ func BenchmarkAllocGate(b *testing.B) {
 	b.ReportMetric(float64(budget.AllocsPerOpCeiling), "alloc-ceiling/op")
 	for i := 0; i < b.N; i++ {
 		runAllocGateOnce(b)
+	}
+}
+
+// scaleGateTiles is the tile count of the scale allocation gate — the
+// scale study's largest cell.
+const scaleGateTiles = 1024
+
+// scaleGateConfig is the ALLOC_BUDGET.json scale_config: the scale
+// study's 1024-tile torus cell at the study's floored run length.
+func scaleGateConfig() cmp.RunConfig {
+	return cmp.RunConfig{
+		App:           "FFT",
+		RefsPerCore:   500,
+		WarmupRefs:    250,
+		Seed:          1,
+		Topology:      "torus",
+		Tiles:         scaleGateTiles,
+		Compression:   compress.Spec{Kind: "dbrc", Entries: 4, LowOrderBytes: 2},
+		Heterogeneous: true,
+	}
+}
+
+func runScaleGateOnce(t testing.TB) {
+	r, err := cmp.Run(scaleGateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExecCycles == 0 {
+		t.Fatal("no progress")
+	}
+}
+
+// BenchmarkScaleAllocGate is the measurement the CI alloc-gate job
+// compares against the per-tile ceiling
+// (allocs/op <= tiles * scale_allocs_per_tile_ceiling).
+func BenchmarkScaleAllocGate(b *testing.B) {
+	budget := readAllocBudget(b)
+	b.ReportAllocs()
+	b.ReportMetric(float64(scaleGateTiles*budget.ScaleAllocsPerTileCeiling), "alloc-ceiling/op")
+	for i := 0; i < b.N; i++ {
+		runScaleGateOnce(b)
+	}
+}
+
+// TestScaleAllocGate enforces the per-tile ceiling at 1024 tiles in
+// the ordinary test run. Skipped under -race and -short for the same
+// reasons as TestAllocGate, and because a 1024-tile simulation takes
+// tens of seconds.
+func TestScaleAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("1024-tile allocation measurement")
+	}
+	budget := readAllocBudget(t)
+	if budget.ScaleAllocsPerTileCeiling == 0 {
+		t.Fatal("alloc gate: ALLOC_BUDGET.json has no scale_allocs_per_tile_ceiling")
+	}
+	allocs := uint64(testing.AllocsPerRun(1, func() { runScaleGateOnce(t) }))
+	perTile := allocs / scaleGateTiles
+	ceiling := scaleGateTiles * budget.ScaleAllocsPerTileCeiling
+	t.Logf("scale alloc gate: %d allocs/op = %d allocs/tile at %d tiles (per-tile ceiling %d, recorded %d)",
+		allocs, perTile, scaleGateTiles, budget.ScaleAllocsPerTileCeiling, budget.ScaleMeasuredAllocsPerTile)
+	if allocs > ceiling {
+		t.Errorf("scale alloc gate: %d allocs/op exceeds %d tiles x %d allocs/tile = %d",
+			allocs, scaleGateTiles, budget.ScaleAllocsPerTileCeiling, ceiling)
 	}
 }
 

@@ -12,6 +12,8 @@
 //	figures                  # everything at reporting scale
 //	figures -figure 6        # one figure
 //	figures -resilience      # execution time / link ED^2P vs. link BER
+//	figures -scale           # topology scale study (64/256/1024 tiles)
+//	figures -scale -scale-tiles 64,256 -scale-topos mesh,torus,slim
 //	figures -quick           # smoke-test scale (seconds)
 //	figures -csv             # CSV output (tables on stdout, progress on stderr)
 //	figures -jobs 8          # worker pool size (default: GOMAXPROCS)
@@ -33,6 +35,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"tilesim/internal/figures"
@@ -51,6 +55,10 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		ablation   = flag.Bool("ablation", false, "run the ablation studies instead of the paper figures")
 		resilience = flag.Bool("resilience", false, "run the fault-injection resilience sweep instead of the paper figures")
+		scaleStudy = flag.Bool("scale", false, "run the topology scale study instead of the paper figures")
+		scaleApp   = flag.String("scale-app", "FFT", "application for the scale study")
+		scaleTiles = flag.String("scale-tiles", "", "comma-separated tile counts for the scale study (default 64,256,1024)")
+		scaleTopos = flag.String("scale-topos", "", "comma-separated topologies for the scale study (default mesh,torus)")
 		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache", "", "result cache directory (empty = in-process cache only)")
 
@@ -116,6 +124,22 @@ func main() {
 	}
 
 	start := time.Now()
+	if *scaleStudy {
+		tiles, err := intList(*scaleTiles)
+		if err != nil {
+			fail(err)
+		}
+		_, t, err := figures.ScaleStudy(runner, scale, *scaleApp, tiles, strList(*scaleTopos))
+		if err != nil {
+			fail(err)
+		}
+		emit(fmt.Sprintf("Scale study: %s compression and wire-plane ablations vs. topology and tile count (per-cell baselines)", *scaleApp), t)
+		if err := sidecars.flush("scale"); err != nil {
+			fail(err)
+		}
+		trailer("scale study", start)
+		return
+	}
 	if *ablation {
 		_, t, err := figures.AblationWiring(runner, scale, []string{"MP3D", "Unstructured", "FFT", "Water-nsq"})
 		if err != nil {
@@ -189,6 +213,35 @@ func main() {
 		}
 	}
 	trailer("sweep", start)
+}
+
+// intList parses a comma-separated integer flag; empty means "use the
+// study's default axis" and returns nil.
+func intList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad tile count %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// strList parses a comma-separated string flag; empty returns nil.
+func strList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(f))
+	}
+	return out
 }
 
 // metricsSidecar harvests per-run metrics snapshots from the sweep

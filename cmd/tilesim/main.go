@@ -39,6 +39,7 @@ import (
 	"tilesim/internal/compress"
 	"tilesim/internal/energy"
 	"tilesim/internal/fault"
+	"tilesim/internal/mesh"
 	"tilesim/internal/noc"
 	"tilesim/internal/obs"
 	"tilesim/internal/workload"
@@ -54,6 +55,8 @@ func main() {
 		refs    = flag.Int("refs", 8000, "memory references per core")
 		warmup  = flag.Int("warmup", 3000, "warmup references per core before measurement")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		topo    = flag.String("topo", "mesh", "interconnect topology: "+strings.Join(cmp.TopologyNames, ", "))
+		tiles   = flag.Int("tiles", 16, "tile count (power of two, 4..1024)")
 
 		metricsOut  = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event file (Perfetto) to this file")
@@ -75,6 +78,8 @@ func main() {
 		RefsPerCore:   *refs,
 		WarmupRefs:    *warmup,
 		Seed:          *seed,
+		Topology:      *topo,
+		Tiles:         *tiles,
 		Compression:   compress.Spec{Kind: *scheme, Entries: *entries, LowOrderBytes: *lo},
 		Heterogeneous: *het,
 		Faults: fault.Config{
@@ -145,6 +150,11 @@ func main() {
 		fmt.Printf("  (baseline: 75B B wires)")
 	}
 	fmt.Println()
+	if *topo != "mesh" || *tiles != 16 {
+		t := sys.Net.Topology()
+		fmt.Printf("topology            %s (%d tiles, %d routers, %d links, avg %.2f hops)\n",
+			t.Label(), t.Tiles(), t.Nodes(), sys.Net.Links(), mesh.AvgHops(t))
+	}
 	fmt.Printf("execution time      %d cycles (%.3f us at 4 GHz)\n", r.ExecCycles, float64(r.ExecCycles)/4e9*1e6)
 	fmt.Printf("references          %d loads, %d stores\n", r.Loads, r.Stores)
 	fmt.Printf("L1 misses           %d (%.1f%%), mean latency %.0f cycles\n",

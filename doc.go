@@ -3,8 +3,10 @@
 // Energy-Efficient High-Performance in Tiled CMPs" (Flores, Acacio,
 // Aragón — ICPP 2008).
 //
-// The simulator models a 16-core tiled CMP (4x4 mesh, private L1s, a
-// shared NUCA L2, directory MESI coherence) and the paper's proposal:
+// The simulator models the paper's 16-core tiled CMP (4x4 mesh,
+// private L1s, a shared NUCA L2, directory MESI coherence) — scalable
+// to 1024 tiles on pluggable topologies (DESIGN.md §14) — and the
+// paper's proposal:
 // dynamic address compression of coherence requests and commands (DBRC
 // and Stride schemes) combined with a heterogeneous interconnect whose
 // links split into a few very-low-latency VL-Wires for short critical
@@ -19,7 +21,9 @@
 //	internal/cacti      SRAM cost models (Table 1)            DESIGN.md §5
 //	internal/compress   DBRC / Stride / Perfect codecs        DESIGN.md §5
 //	internal/noc        message model and classification      DESIGN.md §5
-//	internal/mesh       4x4 wormhole mesh, per-plane links    DESIGN.md §5
+//	internal/mesh       pluggable Topology (mesh, cmesh,      DESIGN.md §5, §14
+//	                    torus, slim), wormhole network,
+//	                    per-plane links
 //	internal/cache      L1/L2 arrays and MSHRs                DESIGN.md §3
 //	internal/coherence  directory MESI protocol               DESIGN.md §5
 //	internal/cmp        system assembly and run harness       DESIGN.md §3
@@ -32,7 +36,9 @@
 //	internal/analysis   tilesimvet static-analysis rules      DESIGN.md §8
 //	cmd/tilesim         single-run CLI
 //	cmd/tables          Tables 1-3 (analytic, no simulation)
-//	cmd/figures         Figures 2, 5, 6, 7 + ablations via the sweep engine
+//	cmd/figures         Figures 2, 5, 6, 7 + ablations + the
+//	                    topology scale study (-scale) via the
+//	                    sweep engine
 //	cmd/tracegen        trace capture and summary
 //	cmd/tilesimvet      the static analyzer CLI
 //

@@ -41,6 +41,13 @@ func (c RunConfig) Canonical() (string, error) {
 		c.App, c.RefsPerCore, c.WarmupRefs, c.Seed,
 		c.Compression.Kind, c.Compression.Entries, c.Compression.LowOrderBytes,
 		w, rp, c.RouterLatency, c.LinkCyclesScale)
+	// Topology fields append only away from the paper's default 4x4
+	// mesh, so every pre-topology-refactor configuration keeps its cache
+	// key (equivalent spellings normalize: Topology="" and "mesh" encode
+	// identically, as do Tiles=0 and 16).
+	if c.topologyName() != "mesh" || c.tiles() != defaultTiles {
+		enc += fmt.Sprintf(" topo=%s tiles=%d", c.topologyName(), c.tiles())
+	}
 	// Fault fields append only when injection is enabled, so every
 	// fault-free configuration keeps its pre-fault cache key.
 	if c.Faults.Enabled() {

@@ -84,6 +84,8 @@ func TestCanonicalCoversEveryField(t *testing.T) {
 		"RefsPerCore":       func(c *RunConfig) { c.RefsPerCore++ },
 		"WarmupRefs":        func(c *RunConfig) { c.WarmupRefs++ },
 		"Seed":              func(c *RunConfig) { c.Seed++ },
+		"Topology":          func(c *RunConfig) { c.Topology = "torus" },
+		"Tiles":             func(c *RunConfig) { c.Tiles = 64 },
 		"Compression":       func(c *RunConfig) { c.Compression.Entries++ },
 		"Heterogeneous":     func(c *RunConfig) { c.Heterogeneous = true },
 		"Wiring":            func(c *RunConfig) { c.Wiring = "vlbpw" },

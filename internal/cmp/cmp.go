@@ -34,6 +34,16 @@ type RunConfig struct {
 	WarmupRefs int
 	// Seed fixes the workload randomness.
 	Seed int64
+	// Topology selects the interconnect graph: "mesh" (the paper's
+	// dense 2D mesh, the default), "cmesh" (concentrated mesh, 4 tiles
+	// per router), "torus" (2D torus with wraparound links) or "slim"
+	// (flattened-butterfly low-diameter network). See DESIGN.md §14.
+	Topology string
+	// Tiles is the tile (core) count; 0 means the paper's 16. Must be a
+	// power of two (page-interleaved homes) within each topology's
+	// geometric constraints — BuildTopology validates and returns a
+	// descriptive error at config-decode time.
+	Tiles int
 	// Compression selects the address-compression scheme.
 	Compression compress.Spec
 	// Heterogeneous enables the proposal's VL+B link layout; false is
@@ -105,7 +115,7 @@ func (c RunConfig) VLWidthBytes() (int, error) {
 	case "lpw":
 		return noc.ShortMax, nil
 	case "vlb", "vlbpw":
-		codec, err := c.Compression.Build(16)
+		codec, err := c.Compression.Build(c.tiles())
 		if err != nil {
 			return 0, err
 		}
@@ -224,7 +234,7 @@ func (s *System) snapMgr() mgrSnapshot {
 
 func (s *System) snapL1() l1Snapshot {
 	var out l1Snapshot
-	for i := 0; i < 16; i++ {
+	for i := 0; i < s.cfg.tiles(); i++ {
 		l1 := s.Proto.L1(i)
 		out.loads += l1.Loads.Value()
 		out.stores += l1.Stores.Value()
@@ -249,15 +259,19 @@ func NewSystem(cfg RunConfig) (*System, error) {
 	if cfg.RefsPerCore <= 0 {
 		return nil, fmt.Errorf("cmp: RefsPerCore must be positive")
 	}
+	topo, err := cfg.BuildTopology()
+	if err != nil {
+		return nil, err
+	}
+	tiles := topo.Tiles()
 	gen := cfg.Generator
 	if gen == nil {
-		var err error
-		gen, err = workload.NewNamedApp(cfg.App, 16, cfg.RefsPerCore, cfg.Seed)
+		gen, err = workload.NewNamedApp(cfg.App, tiles, cfg.RefsPerCore, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
 	}
-	codec, err := cfg.Compression.Build(16)
+	codec, err := cfg.Compression.Build(tiles)
 	if err != nil {
 		return nil, err
 	}
@@ -294,9 +308,10 @@ func NewSystem(cfg RunConfig) (*System, error) {
 	if cfg.LinkCyclesScale > 0 {
 		netCfg.LinkCyclesScale = cfg.LinkCyclesScale
 	}
+	netCfg.Topo = topo
 
 	k := sim.NewKernel()
-	meter := energy.NewMeter(16)
+	meter := energy.NewMeter(topo.Nodes())
 	net := mesh.New(k, netCfg, meter)
 	for _, sw := range net.StaticWires() {
 		meter.AddStaticWires(sw.Kind, sw.Length, sw.Wires)
@@ -316,16 +331,17 @@ func NewSystem(cfg RunConfig) (*System, error) {
 	// The protocol sends through the manager; the manager delivers back
 	// into the protocol.
 	cohCfg := coherence.DefaultConfig()
+	cohCfg.Tiles = tiles
 	cohCfg.ReplyPartitioning = cfg.ReplyPartitioning
 	sys.Proto = coherence.New(k, cohCfg, func(m *noc.Message) { sys.Mgr.Send(m) })
 	sys.Mgr = core.New(k, net, core.Config{Codec: codec, VLWidthBytes: vlWidth}, meter,
 		func(m *noc.Message) { sys.Proto.Deliver(m) })
 
-	sys.bar = newBarrier(16)
-	sys.warm = newBarrier(16)
+	sys.bar = newBarrier(tiles)
+	sys.warm = newBarrier(tiles)
 	sys.warm.onAll = sys.takeWarmupSnapshot
-	sys.cores = make([]*Core, 16)
-	for i := 0; i < 16; i++ {
+	sys.cores = make([]*Core, tiles)
+	for i := 0; i < tiles; i++ {
 		sys.cores[i] = newCore(i, sys, gen)
 	}
 	return sys, nil

@@ -1,0 +1,87 @@
+package cmp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tilesim/internal/coherence"
+	"tilesim/internal/mesh"
+)
+
+// defaultTiles is the paper's CMP size: a 4x4 grid.
+const defaultTiles = 16
+
+// CMeshConc is the concentration factor of the "cmesh" topology: four
+// tiles share each router through a local crossbar, the c=4 point the
+// concentrated-mesh literature converged on (one router per 2x2 tile
+// quad).
+const CMeshConc = 4
+
+// TopologyNames lists the valid RunConfig.Topology values in flag-help
+// order.
+var TopologyNames = []string{"mesh", "cmesh", "torus", "slim"}
+
+// tiles normalizes the tile count: 0 means the paper's 16.
+func (c RunConfig) tiles() int {
+	if c.Tiles == 0 {
+		return defaultTiles
+	}
+	return c.Tiles
+}
+
+// topologyName normalizes the topology selection: "" means "mesh".
+func (c RunConfig) topologyName() string {
+	if c.Topology == "" {
+		return "mesh"
+	}
+	return c.Topology
+}
+
+// gridDims factors a power-of-two router count into the squarest
+// possible W x H grid (wider when the count is an odd power of two):
+// 16 -> 4x4, 64 -> 8x8, 32 -> 8x4, 1024 -> 32x32.
+func gridDims(routers int) (w, h int) {
+	log := bits.TrailingZeros(uint(routers))
+	w = 1 << ((log + 1) / 2)
+	return w, routers / w
+}
+
+// BuildTopology validates the configuration's topology parameters and
+// constructs the interconnect graph. All parameter errors surface here
+// as returned errors — config decoding (flags, sweep specs) calls this
+// before any simulator structure is built, so a bad tile count or an
+// undersized torus never reaches the mesh package's programmatic-misuse
+// panics.
+func (c RunConfig) BuildTopology() (mesh.Topology, error) {
+	tiles := c.tiles()
+	if tiles < 4 || tiles > coherence.MaxTiles || bits.OnesCount(uint(tiles)) != 1 {
+		return nil, fmt.Errorf("cmp: tile count must be a power of two in 4..%d (page-interleaved homes), got %d",
+			coherence.MaxTiles, tiles)
+	}
+	switch c.topologyName() {
+	case "mesh":
+		w, h := gridDims(tiles)
+		return mesh.NewMesh(w, h), nil
+	case "cmesh":
+		if tiles < 2*CMeshConc {
+			return nil, fmt.Errorf("cmp: cmesh topology needs at least %d tiles (two routers at %d tiles per router), got %d",
+				2*CMeshConc, CMeshConc, tiles)
+		}
+		w, h := gridDims(tiles / CMeshConc)
+		return mesh.NewCMesh(w, h, CMeshConc), nil
+	case "torus":
+		w, h := gridDims(tiles)
+		if w < 3 || h < 3 {
+			return nil, fmt.Errorf("cmp: torus topology needs both grid dimensions >= 3 (16+ tiles), got %dx%d from %d tiles",
+				w, h, tiles)
+		}
+		return mesh.NewTorus(w, h), nil
+	case "slim":
+		w, h := gridDims(tiles)
+		if w < 2 || h < 2 {
+			return nil, fmt.Errorf("cmp: slim topology needs both grid dimensions >= 2, got %dx%d from %d tiles", w, h, tiles)
+		}
+		return mesh.NewSlim(w, h), nil
+	}
+	return nil, fmt.Errorf("cmp: unknown topology %q (valid: %v)", c.Topology, TopologyNames)
+}

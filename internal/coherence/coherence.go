@@ -115,8 +115,8 @@ type Protocol struct {
 // New builds the protocol. send is invoked for every outgoing message
 // (including tile-local ones; the transport decides how to route those).
 func New(k *sim.Kernel, cfg Config, send Sender) *Protocol {
-	if cfg.Tiles < 2 || bits.OnesCount(uint(cfg.Tiles)) != 1 {
-		panic(fmt.Sprintf("coherence: tile count %d must be a power of two >= 2", cfg.Tiles))
+	if cfg.Tiles < 2 || cfg.Tiles > MaxTiles || bits.OnesCount(uint(cfg.Tiles)) != 1 {
+		panic(fmt.Sprintf("coherence: tile count %d must be a power of two in 2..%d", cfg.Tiles, MaxTiles))
 	}
 	p := &Protocol{cfg: cfg, k: k, send: send}
 	p.l1s = make([]*L1Controller, cfg.Tiles)

@@ -109,8 +109,8 @@ func (ts *testSystem) checkInvariants(t *testing.T, blocks []uint64) {
 		}
 		// Directory sharers must be a superset of actual S holders.
 		for tile := 0; tile < tiles; tile++ {
-			if ts.state(tile, b) == cache.Shared && dirSharers&(1<<uint(tile)) == 0 {
-				t.Errorf("block %#x: tile %d holds S but directory mask %#x misses it", b, tile, dirSharers)
+			if ts.state(tile, b) == cache.Shared && !dirSharers.Has(tile) {
+				t.Errorf("block %#x: tile %d holds S but directory mask %v misses it", b, tile, dirSharers)
 			}
 		}
 		// Inclusion: any L1 presence requires the home L2 line.

@@ -26,8 +26,8 @@ const (
 
 // dirEntry is the directory state of one block at its home.
 type dirEntry struct {
-	sharers uint32 // bitmask of tiles with S copies (may be a superset)
-	owner   int    // tile with the M/E copy, or -1
+	sharers SharerSet // tiles with S copies (may be a superset)
+	owner   int       // tile with the M/E copy, or -1
 
 	busy  bool
 	kind  txnKind
@@ -45,7 +45,7 @@ type dirEntry struct {
 }
 
 func (e *dirEntry) empty() bool {
-	return e.sharers == 0 && e.owner < 0 && !e.busy && len(e.queue) == 0
+	return e.sharers.Empty() && e.owner < 0 && !e.busy && len(e.queue) == 0
 }
 
 // HomeController is one tile's L2 slice plus the directory for the
@@ -194,7 +194,7 @@ func (h *HomeController) handleGetS(m *noc.Message, block uint64, e *dirEntry) {
 		// Directory mutation happens NOW (the serialization point);
 		// only the grant message waits for the data array.
 		var grant *noc.Message
-		if e.sharers == 0 {
+		if e.sharers.Empty() {
 			// Sole copy: grant E. Unlike write-ownership transfers, E
 			// grants need no completion ack: a racing recall resolves
 			// through the requestor's use-once handling (it relinquishes
@@ -204,7 +204,7 @@ func (h *HomeController) handleGetS(m *noc.Message, block uint64, e *dirEntry) {
 			e.owner = m.Src
 		} else {
 			grant = h.p.msg(noc.Data, h.id, m.Src, block, m.Txn)
-			e.sharers |= 1 << uint(m.Src)
+			e.sharers.Add(m.Src)
 		}
 		grant.DataBytes = noc.LineBytes
 		h.sendDataGrant(grant, delay)
@@ -244,12 +244,12 @@ func (h *HomeController) handleGetX(m *noc.Message, block uint64, e *dirEntry) {
 	}
 	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 	h.ensureData(block, e, func(delay sim.Time) {
-		others := e.sharers &^ (1 << uint(m.Src))
+		others := e.sharers.Without(m.Src)
 		h.invalidateSharers(others, block, m.Src, m.Txn)
 		grant := h.p.msg(noc.Data, h.id, m.Src, block, m.Txn)
 		grant.DataBytes = noc.LineBytes
-		grant.AckCount = bits.OnesCount32(others)
-		e.sharers = 0
+		grant.AckCount = others.Count()
+		e.sharers.Clear()
 		e.owner = m.Src
 		// Ownership transfers stay busy until the requestor confirms
 		// completion, so recalls and interventions can never race an
@@ -265,13 +265,13 @@ func (h *HomeController) handleUpgrade(m *noc.Message, block uint64, e *dirEntry
 		h.handleGetX(m, block, e)
 		return
 	}
-	if e.sharers&(1<<uint(m.Src)) != 0 {
+	if e.sharers.Has(m.Src) {
 		// Upgrade in place: invalidate the others, no data needed.
-		others := e.sharers &^ (1 << uint(m.Src))
+		others := e.sharers.Without(m.Src)
 		h.invalidateSharers(others, block, m.Src, m.Txn)
 		grant := h.p.msg(noc.AckNoData, h.id, m.Src, block, m.Txn)
-		grant.AckCount = bits.OnesCount32(others)
-		e.sharers = 0
+		grant.AckCount = others.Count()
+		e.sharers.Clear()
 		e.owner = m.Src
 		e.busy, e.kind, e.pendingCloses = true, txnGrant, 1
 		h.p.send(grant)
@@ -281,9 +281,9 @@ func (h *HomeController) handleUpgrade(m *noc.Message, block uint64, e *dirEntry
 	h.handleGetX(m, block, e)
 }
 
-func (h *HomeController) invalidateSharers(mask uint32, block uint64, replyTo int, txn uint64) {
+func (h *HomeController) invalidateSharers(mask SharerSet, block uint64, replyTo int, txn uint64) {
 	for t := 0; t < h.p.cfg.Tiles; t++ {
-		if mask&(1<<uint(t)) == 0 {
+		if !mask.Has(t) {
 			continue
 		}
 		h.InvsSent.Inc()
@@ -294,9 +294,9 @@ func (h *HomeController) invalidateSharers(mask uint32, block uint64, replyTo in
 }
 
 // recallSharers sends recall-flavoured invalidations acked to the home.
-func (h *HomeController) recallSharers(mask uint32, block uint64, txn uint64) {
+func (h *HomeController) recallSharers(mask SharerSet, block uint64, txn uint64) {
 	for t := 0; t < h.p.cfg.Tiles; t++ {
-		if mask&(1<<uint(t)) == 0 {
+		if !mask.Has(t) {
 			continue
 		}
 		h.InvsSent.Inc()
@@ -347,14 +347,14 @@ func (h *HomeController) handleRevision(m *noc.Message, block uint64) {
 		}
 		oldOwner := e.owner
 		e.owner = -1
-		e.sharers |= 1 << uint(e.requestor)
+		e.sharers.Add(e.requestor)
 		if !m.NoCopy {
-			e.sharers |= 1 << uint(oldOwner)
+			e.sharers.Add(oldOwner)
 		}
 		h.closeOne(block, e)
 	case txnFwdX:
 		e.owner = e.requestor
-		e.sharers = 0
+		e.sharers.Clear()
 		h.closeOne(block, e)
 	case txnRecall:
 		if m.DataBytes > 0 {
@@ -396,7 +396,7 @@ func (h *HomeController) recallAckArrived(block uint64, e *dirEntry) {
 	if e.recallAcks > 0 {
 		return
 	}
-	e.sharers = 0
+	e.sharers.Clear()
 	e.owner = -1
 	then := e.afterRecall
 	e.afterRecall = nil
@@ -438,7 +438,7 @@ func (h *HomeController) ensureData(block uint64, e *dirEntry, cont func(delay s
 		return
 	}
 	h.l2.Access(block) // records the miss
-	if e.sharers != 0 || e.owner >= 0 {
+	if !e.sharers.Empty() || e.owner >= 0 {
 		panic(fmt.Sprintf("coherence: home %d block %#x has L1 copies but no L2 line (inclusion broken)", h.id, block))
 	}
 	h.L2Misses.Inc()
@@ -476,7 +476,7 @@ func (h *HomeController) fillL2(block uint64, e *dirEntry, cont func(delay sim.T
 	}
 	vblock := victim.Block
 	ve, hasDir := h.dir[vblock]
-	if !hasDir || (ve.sharers == 0 && ve.owner < 0) {
+	if !hasDir || (ve.sharers.Empty() && ve.owner < 0) {
 		// No L1 copies: plain L2 eviction (dirty data flows to memory).
 		h.l2.Invalidate(vblock)
 		finish()
@@ -492,7 +492,7 @@ func (h *HomeController) fillL2(block uint64, e *dirEntry, cont func(delay sim.T
 		inv.Recall = true
 		h.p.send(inv)
 	} else {
-		ve.recallAcks = bits.OnesCount32(ve.sharers)
+		ve.recallAcks = ve.sharers.Count()
 		h.recallSharers(ve.sharers, vblock, h.p.txn())
 	}
 	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
@@ -530,10 +530,10 @@ func (h *HomeController) pickL2Victim(block uint64) *cache.Line {
 // DirInfo returns the directory view of one block for invariant checks:
 // the sharer mask, the owner (-1 if none), whether a transaction is in
 // flight, and whether the block is tracked at all.
-func (h *HomeController) DirInfo(block uint64) (sharers uint32, owner int, busy bool, tracked bool) {
+func (h *HomeController) DirInfo(block uint64) (sharers SharerSet, owner int, busy bool, tracked bool) {
 	e, ok := h.dir[block]
 	if !ok {
-		return 0, -1, false, false
+		return SharerSet{}, -1, false, false
 	}
 	return e.sharers, e.owner, e.busy, true
 }

@@ -1,0 +1,54 @@
+package coherence
+
+import "math/bits"
+
+// MaxTiles bounds the directory's sharer tracking. The scale study tops
+// out at 1024 tiles; the fixed-size set below keeps directory entries
+// allocation-free at any supported size.
+const MaxTiles = 1024
+
+// SharerSet is the directory's sharer bitmask, a fixed-size bitset
+// sized for MaxTiles. It replaced the original uint32 mask when the
+// topology refactor lifted the 32-tile ceiling. The zero value is the
+// empty set, and the array is a value type: assignment and Without
+// copy, so callers can snapshot a mask before mutating the entry —
+// exactly the idiom the old integer mask supported.
+type SharerSet [MaxTiles / 64]uint64
+
+// Add inserts tile t.
+func (s *SharerSet) Add(t int) { s[t>>6] |= 1 << uint(t&63) }
+
+// Remove deletes tile t.
+func (s *SharerSet) Remove(t int) { s[t>>6] &^= 1 << uint(t&63) }
+
+// Has reports whether tile t is in the set.
+func (s *SharerSet) Has(t int) bool { return s[t>>6]&(1<<uint(t&63)) != 0 }
+
+// Empty reports whether no tile is in the set.
+func (s *SharerSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of tiles in the set.
+func (s *SharerSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Without returns a copy of the set with tile t removed; the receiver
+// is unchanged.
+func (s SharerSet) Without(t int) SharerSet {
+	s.Remove(t)
+	return s
+}
+
+// Clear empties the set.
+func (s *SharerSet) Clear() { *s = SharerSet{} }

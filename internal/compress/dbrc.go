@@ -58,8 +58,8 @@ func NewDBRC(entries, loBytes, cores int) *DBRC {
 	if loBytes < 1 || loBytes > 2 {
 		panic(fmt.Sprintf("compress: DBRC low-order bytes must be 1 or 2, got %d", loBytes))
 	}
-	if cores < 2 || cores > 32 {
-		panic(fmt.Sprintf("compress: DBRC cores must be 2..32, got %d", cores))
+	if cores < 2 || cores > 1024 {
+		panic(fmt.Sprintf("compress: DBRC cores must be 2..1024, got %d", cores))
 	}
 	d := &DBRC{entries: entries, loBytes: loBytes, cores: cores}
 	d.Reset()

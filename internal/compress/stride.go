@@ -31,8 +31,8 @@ func NewStride(deltaBytes, cores int) *Stride {
 	if deltaBytes < 1 || deltaBytes > 2 {
 		panic(fmt.Sprintf("compress: stride delta must be 1 or 2 bytes, got %d", deltaBytes))
 	}
-	if cores < 2 || cores > 32 {
-		panic(fmt.Sprintf("compress: stride cores must be 2..32, got %d", cores))
+	if cores < 2 || cores > 1024 {
+		panic(fmt.Sprintf("compress: stride cores must be 2..1024, got %d", cores))
 	}
 	s := &Stride{deltaBytes: deltaBytes, cores: cores}
 	s.Reset()

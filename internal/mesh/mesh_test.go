@@ -11,7 +11,7 @@ import (
 )
 
 func TestTopologyCoordRoundTrip(t *testing.T) {
-	topo := NewTopology(4, 4)
+	topo := NewMesh(4, 4)
 	for id := 0; id < 16; id++ {
 		if got := topo.IDOf(topo.CoordOf(id)); got != id {
 			t.Errorf("tile %d round-trips to %d", id, got)
@@ -23,13 +23,13 @@ func TestTopologyCoordRoundTrip(t *testing.T) {
 }
 
 func TestRouteXYIsMinimalAndDimensionOrdered(t *testing.T) {
-	topo := NewTopology(4, 4)
+	topo := NewMesh(4, 4)
 	for src := 0; src < 16; src++ {
 		for dst := 0; dst < 16; dst++ {
 			if src == dst {
 				continue
 			}
-			route := topo.RouteXY(src, dst)
+			route := topo.Route(src, dst)
 			if len(route) != topo.Hops(src, dst) {
 				t.Fatalf("%d->%d: route length %d, hops %d", src, dst, len(route), topo.Hops(src, dst))
 			}
@@ -60,7 +60,7 @@ func TestRouteXYIsMinimalAndDimensionOrdered(t *testing.T) {
 func TestAvgHops4x4(t *testing.T) {
 	// For a 4x4 mesh the mean minimal distance over distinct pairs is
 	// 2*(mean 1-D distance over pairs) adjusted for ordered pairs: 8/3.
-	got := NewTopology(4, 4).AvgHops()
+	got := AvgHops(NewMesh(4, 4))
 	if math.Abs(got-8.0/3.0) > 1e-12 {
 		t.Fatalf("avg hops %.4f, want %.4f", got, 8.0/3.0)
 	}
@@ -72,7 +72,7 @@ func TestDegenerateTopologyPanics(t *testing.T) {
 			t.Fatal("1x1 topology accepted")
 		}
 	}()
-	NewTopology(1, 1)
+	NewMesh(1, 1)
 }
 
 // deliverOne sends a single message through an idle network and returns

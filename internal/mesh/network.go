@@ -50,6 +50,12 @@ type ChannelConfig struct {
 
 // Config parameterizes the network.
 type Config struct {
+	// Topo is the interconnect topology. When nil, a dense Width x
+	// Height mesh is built — the paper's network and the zero-config
+	// default, so pre-interface configurations keep their meaning.
+	Topo Topology
+	// Width, Height describe the default dense mesh used when Topo is
+	// nil; ignored otherwise.
 	Width, Height int
 	// RouterLatency is the per-hop router pipeline depth in cycles.
 	RouterLatency int
@@ -164,18 +170,21 @@ type channel struct {
 // Handler consumes messages delivered at a tile.
 type Handler func(*sim.Kernel, *noc.Message)
 
-// Network is the mesh interconnect.
+// Network is the switched interconnect over a Topology.
 type Network struct {
-	k        *sim.Kernel
-	topo     Topology
+	k    *sim.Kernel
+	topo Topology
+	// nodes caches topo.Nodes() for the hot linkIndex arithmetic.
+	nodes    int
 	cfg      Config
 	obs      Observer
 	handlers []Handler
 
 	// channels holds the directed links in a dense slice indexed by
-	// linkIndex(from, to); nil for tile pairs that are not adjacent.
-	// A slice (not a map) so every iteration is in deterministic link
-	// order — map iteration order would vary run to run.
+	// linkIndex(from, to) over router ids; nil for router pairs that
+	// are not adjacent. A slice (not a map) so every iteration is in
+	// deterministic link order — map iteration order would vary run to
+	// run.
 	channels []*[numPlanes]*channel
 	nLinks   int
 
@@ -204,9 +213,9 @@ type Network struct {
 	// per-message transit at +5.7% of the run's allocations before
 	// pooling.
 	free *transit
-	// routes caches the XY route per (src,dst) pair, computed on first
-	// use: routes are pure functions of the topology, and one slice per
-	// message was the mesh's last per-send allocation.
+	// routes caches the topology's route per (src,dst) router pair,
+	// computed on first use: routes are pure functions of the topology,
+	// and one slice per message was the mesh's last per-send allocation.
 	routes [][]int
 
 	// inj, when non-nil, is the fault-injection source (DESIGN.md §11).
@@ -241,44 +250,43 @@ func New(k *sim.Kernel, cfg Config, obs Observer) *Network {
 	if cfg.RouterLatency < 1 {
 		panic("mesh: router latency must be >= 1 cycle")
 	}
-	topo := NewTopology(cfg.Width, cfg.Height)
+	topo := cfg.Topo
+	if topo == nil {
+		topo = NewMesh(cfg.Width, cfg.Height)
+	}
+	nodes := topo.Nodes()
 	n := &Network{
 		k:        k,
 		topo:     topo,
+		nodes:    nodes,
 		cfg:      cfg,
 		obs:      obs,
 		handlers: make([]Handler, topo.Tiles()),
-		channels: make([]*[numPlanes]*channel, topo.Tiles()*topo.Tiles()),
-		routes:   make([][]int, topo.Tiles()*topo.Tiles()),
+		channels: make([]*[numPlanes]*channel, nodes*nodes),
+		routes:   make([][]int, nodes*nodes),
 	}
 	for c := range n.latHist {
 		// 2-cycle buckets up to 512 cycles; congested tails overflow
 		// into the exact-max tracking.
 		n.latHist[c] = stats.NewHistogram(256, 2)
 	}
-	// Create directed links between adjacent tiles.
-	for id := 0; id < topo.Tiles(); id++ {
-		c := topo.CoordOf(id)
-		for _, nb := range []Coord{{c.X + 1, c.Y}, {c.X - 1, c.Y}, {c.X, c.Y + 1}, {c.X, c.Y - 1}} {
-			if nb.X < 0 || nb.X >= topo.W || nb.Y < 0 || nb.Y >= topo.H {
-				continue
-			}
-			var planes [numPlanes]*channel
-			for p := Plane(0); p < numPlanes; p++ {
-				if cfg.Channels[p].WidthBytes > 0 {
-					cycles := wire.LatencyCycles(cfg.Channels[p].Kind)
-					if cfg.LinkCyclesScale > 0 {
-						cycles = scaledCycles(cycles, cfg.LinkCyclesScale)
-					}
-					planes[p] = &channel{
-						cfg:    cfg.Channels[p],
-						cycles: cycles,
-					}
+	// Create directed channels in the topology's canonical link order.
+	for _, l := range topo.Links() {
+		var planes [numPlanes]*channel
+		for p := Plane(0); p < numPlanes; p++ {
+			if cfg.Channels[p].WidthBytes > 0 {
+				cycles := wire.LatencyCycles(cfg.Channels[p].Kind)
+				if cfg.LinkCyclesScale > 0 {
+					cycles = scaledCycles(cycles, cfg.LinkCyclesScale)
+				}
+				planes[p] = &channel{
+					cfg:    cfg.Channels[p],
+					cycles: cycles,
 				}
 			}
-			n.channels[n.linkIndex(id, topo.IDOf(nb))] = &planes
-			n.nLinks++
 		}
+		n.channels[n.linkIndex(l.From, l.To)] = &planes
+		n.nLinks++
 	}
 	return n
 }
@@ -298,9 +306,9 @@ func scaledCycles(cycles int, scale float64) int {
 	return scaled
 }
 
-func (n *Network) linkIndex(from, to int) int { return from*n.topo.Tiles() + to }
+func (n *Network) linkIndex(from, to int) int { return from*n.nodes + to }
 
-// Topology returns the mesh topology.
+// Topology returns the network's topology.
 func (n *Network) Topology() Topology { return n.topo }
 
 // SetHandler installs the delivery callback for a tile.
@@ -365,7 +373,7 @@ func (n *Network) Send(m *noc.Message) {
 	if !n.HasPlane(plane) {
 		panic(fmt.Sprintf("mesh: message %v requests absent plane %v", m.Type, plane))
 	}
-	route := n.routeOf(m)
+	srcNode, dstNode := n.topo.NodeOf(m.Src), n.topo.NodeOf(m.Dst)
 	n.inFlight++
 	injected := n.k.Now()
 	flits := noc.Flits(m.SizeBytes, n.cfg.Channels[plane].WidthBytes)
@@ -378,14 +386,34 @@ func (n *Network) Send(m *noc.Message) {
 				classSlug(noc.ClassOf(m.Type)), uint64(injected))
 		}
 	}
-	n.hop(n.newTransit(m, route, injected, flits, plane, traceID))
+	if srcNode == dstNode {
+		// Same-router tiles (concentrated mesh only): the message
+		// crosses the local crossbar — one router pipeline plus tail
+		// serialization — with no link, no wire flight, and no channel
+		// contention. The empty route makes the latency breakdown exact
+		// (hops = 0, Wire = 0).
+		t := n.newTransit(m, localRoute, srcNode, injected, flits, plane, traceID)
+		if n.obs != nil {
+			n.obs.RouterHop(m.SizeBytes, flits)
+		}
+		n.k.ScheduleAt(injected+sim.Time(n.cfg.RouterLatency)+sim.Time(flits-1), t.deliverFn)
+		return
+	}
+	route := n.routeOf(srcNode, dstNode)
+	n.hop(n.newTransit(m, route, srcNode, injected, flits, plane, traceID))
 }
+
+// localRoute is the shared empty route of same-router (crossbar)
+// deliveries; non-nil so a transit carrying it is distinguishable from
+// a recycled one.
+var localRoute = []int{}
 
 // transit is one message's in-flight state, taken from the Network's
 // freelist at Send so the per-hop event closures capture a single
 // pointer instead of the whole argument list (the hop path dominates
 // the simulator's allocation volume). The kernel is single-threaded,
-// so hops may mutate it in place.
+// so hops may mutate it in place. at/route hold router (node) ids, not
+// tile ids — they coincide except on a concentrated mesh.
 type transit struct {
 	m        *noc.Message
 	route    []int
@@ -422,8 +450,9 @@ type transit struct {
 }
 
 // newTransit takes a transit from the freelist (or allocates the pool's
-// next entry) and initializes every in-flight field.
-func (n *Network) newTransit(m *noc.Message, route []int, injected sim.Time, flits noc.FlitCount, plane Plane, traceID uint64) *transit {
+// next entry) and initializes every in-flight field. srcNode is the
+// router the message enters at.
+func (n *Network) newTransit(m *noc.Message, route []int, srcNode int, injected sim.Time, flits noc.FlitCount, plane Plane, traceID uint64) *transit {
 	t := n.free
 	if t == nil {
 		//tilesim:allocok pool miss: one transit + its three continuation closures, reused for the rest of the run
@@ -439,7 +468,7 @@ func (n *Network) newTransit(m *noc.Message, route []int, injected sim.Time, fli
 		t.next = nil
 	}
 	t.m, t.route, t.injected, t.waited = m, route, injected, 0
-	t.at, t.idx, t.flits, t.plane = m.Src, 0, flits, plane
+	t.at, t.idx, t.flits, t.plane = srcNode, 0, flits, plane
 	t.traceID, t.attempts, t.retryCycles = traceID, 0, 0
 	return t
 }
@@ -452,17 +481,17 @@ func (n *Network) recycle(t *transit) {
 	n.free = t
 }
 
-// routeOf returns the XY route for a validated message, from the
-// per-(src,dst) cache. An empty route means the topology and the
-// validator disagree about what a legal endpoint pair is — always a
-// bug, never recoverable. Cached routes are read-only: transits index
-// into them but never mutate.
-func (n *Network) routeOf(m *noc.Message) []int {
-	idx := n.linkIndex(m.Src, m.Dst)
+// routeOf returns the topology's route between two distinct routers,
+// from the per-(src,dst) cache. An empty route for distinct routers
+// means the topology's Route contract is broken — always a bug, never
+// recoverable. Cached routes are read-only: transits index into them
+// but never mutate.
+func (n *Network) routeOf(srcNode, dstNode int) []int {
+	idx := n.linkIndex(srcNode, dstNode)
 	if route := n.routes[idx]; route != nil {
 		return route
 	}
-	route := n.topo.RouteXY(m.Src, m.Dst)
+	route := n.topo.Route(srcNode, dstNode)
 	if len(route) == 0 {
 		panic("mesh: zero-length route")
 	}
@@ -470,7 +499,7 @@ func (n *Network) routeOf(m *noc.Message) []int {
 	return route
 }
 
-// hop models the head flit leaving tile t.at toward t.route[t.idx].
+// hop models the head flit leaving router t.at toward t.route[t.idx].
 // Under fault injection the traversal may be corrupted (caught by the
 // link CRC at the receiving router and NACKed back — see retryHop) or
 // delayed by an injected router stall or plane outage.
@@ -533,10 +562,10 @@ func (n *Network) hop(t *transit) {
 // arrive fires when the head flit reaches the router at t.route[t.idx]:
 // either the final tail-serialization delay before delivery, or the
 // next hop. Nothing mutates the transit between the schedule in hop and
-// this callback, so recomputing the next tile here is exact.
+// this callback, so recomputing the next router here is exact.
 func (n *Network) arrive(t *transit) {
 	next := t.route[t.idx]
-	if next == t.m.Dst {
+	if t.idx == len(t.route)-1 {
 		// Final router pipeline plus tail serialization.
 		deliver := n.k.Now() + sim.Time(n.cfg.RouterLatency) + sim.Time(t.flits-1)
 		n.k.ScheduleAt(deliver, t.deliverFn)

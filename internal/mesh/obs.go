@@ -182,28 +182,37 @@ func (n *Network) RegisterMetrics(r *obs.Registry) {
 	}
 	r.Mean("net.hop_wait", &n.hopWait)
 	r.Gauge("net.inflight", func() float64 { return float64(n.inFlight) })
-	// The channels slice is in deterministic link order; per-link names
-	// are unique, so registration cannot collide.
-	tiles := n.topo.Tiles()
-	for from := 0; from < tiles; from++ {
-		for to := 0; to < tiles; to++ {
-			planes := n.channels[n.linkIndex(from, to)]
-			if planes == nil {
+	// Per-link metrics follow the topology's canonical link enumeration
+	// (ascending (From, To) — for the dense mesh, byte-identical names
+	// and order to the pre-interface grid scan); names are unique, so
+	// registration cannot collide. Above perLinkMetricLinksCap directed
+	// links (a 1024-tile slim topology has 63k) the per-link family is
+	// skipped: snapshots would balloon to hundreds of thousands of keys
+	// while the plane/class aggregates keep carrying the signal.
+	links := n.topo.Links()
+	if len(links) > perLinkMetricLinksCap {
+		return
+	}
+	for _, l := range links {
+		planes := n.channels[n.linkIndex(l.From, l.To)]
+		for p := Plane(0); p < numPlanes; p++ {
+			ch := planes[p]
+			if ch == nil {
 				continue
 			}
-			for p := Plane(0); p < numPlanes; p++ {
-				ch := planes[p]
-				if ch == nil {
-					continue
-				}
-				name := fmt.Sprintf("net.link.%02d->%02d.%s", from, to, p)
-				r.Counter(name+".flits", ch.flits.Value)
-				// Utilization: fraction of elapsed cycles the channel
-				// carried flits, read against the clock at snapshot time.
-				r.Gauge(name+".util", func() float64 {
-					return stats.Ratio(float64(ch.busy.Value()), float64(n.k.Now()))
-				})
-			}
+			name := fmt.Sprintf("net.link.%02d->%02d.%s", l.From, l.To, p)
+			r.Counter(name+".flits", ch.flits.Value)
+			// Utilization: fraction of elapsed cycles the channel
+			// carried flits, read against the clock at snapshot time.
+			r.Gauge(name+".util", func() float64 {
+				return stats.Ratio(float64(ch.busy.Value()), float64(n.k.Now()))
+			})
 		}
 	}
 }
+
+// perLinkMetricLinksCap bounds the per-link metric family: topologies
+// with more directed links than this register only aggregate metrics.
+// 4096 keeps every mesh/cmesh/torus up to 1024 tiles fully instrumented
+// (a 32x32 mesh has 3968 directed links).
+const perLinkMetricLinksCap = 4096

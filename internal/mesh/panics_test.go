@@ -90,7 +90,7 @@ func TestPanicPaths(t *testing.T) {
 				// A self-message is rejected by Validate before routing;
 				// the route guard is the backstop should the two ever
 				// disagree. Exercise it directly.
-				n.routeOf(&noc.Message{Type: noc.GetS, Src: 2, Dst: 2, SizeBytes: 11})
+				n.routeOf(2, 2)
 			},
 		},
 		{
