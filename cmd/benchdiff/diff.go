@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"tilesim/internal/obs"
+)
+
+// Thresholds are the relative regression budgets for the host-side
+// metrics. A non-positive threshold disables that check — wall time is
+// typically disabled when the two ledgers come from different
+// machines, allocations are portable and stay on.
+type Thresholds struct {
+	Wall   float64 // e.g. 0.30 = new wall may exceed base by 30%
+	Allocs float64 // e.g. 0.10 = new alloc_objs may exceed base by 10%
+}
+
+// Finding is one detected problem between a base and a current ledger.
+type Finding struct {
+	Key  string // config hash (or label for uncacheable runs)
+	Kind string // "determinism", "wall" or "allocs"
+	Msg  string
+}
+
+// Determinism reports whether the finding is a digest mismatch, which
+// is fatal regardless of thresholds: two runs of the same config hash
+// under the same simulator version must produce identical results.
+func (f Finding) Determinism() bool { return f.Kind == "determinism" }
+
+// best selects the representative measurement from a key's records:
+// the fastest live run (minimum positive wall among non-cache-hits),
+// the standard best-of-N convention that suppresses scheduler noise.
+// With no live measurement it falls back to the last record, which
+// still carries the deterministic identity fields.
+func best(recs []obs.Record) obs.Record {
+	pick := recs[len(recs)-1]
+	found := false
+	for _, r := range recs {
+		if r.Host.CacheHit || r.Host.WallSeconds <= 0 {
+			continue
+		}
+		if !found || r.Host.WallSeconds < pick.Host.WallSeconds {
+			pick, found = r, true
+		}
+	}
+	return pick
+}
+
+// groupKey identifies a comparable run: the config hash, or the label
+// for uncacheable runs (e.g. trace replays) that have none.
+func groupKey(r obs.Record) string {
+	if r.ConfigHash != "" {
+		return r.ConfigHash
+	}
+	return "label:" + r.Label
+}
+
+func group(recs []obs.Record) map[string][]obs.Record {
+	m := make(map[string][]obs.Record)
+	for _, r := range recs {
+		m[groupKey(r)] = append(m[groupKey(r)], r)
+	}
+	return m
+}
+
+// Diff compares the current ledger against the base one, key by key.
+// Keys present in only one ledger are skipped (new or retired
+// configurations are not regressions). It returns the findings sorted
+// by key and the number of keys compared.
+func Diff(base, cur []obs.Record, th Thresholds) (findings []Finding, compared int) {
+	bg, cg := group(base), group(cur)
+	keys := make([]string, 0, len(bg))
+	for k := range bg {
+		if _, ok := cg[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		compared++
+		b, c := best(bg[k]), best(cg[k])
+		name := b.Label
+		if name == "" {
+			name = k
+		}
+		// Same config hash + same simulator version must digest
+		// identically: a mismatch means the simulation is no longer
+		// deterministic (or the version string was not bumped for a
+		// behavior change). Only real hashes assert this; label-keyed
+		// records may legitimately differ (e.g. replays of different
+		// trace files sharing a path label).
+		if b.ConfigHash != "" && b.SimVersion == c.SimVersion && b.Digest != c.Digest {
+			findings = append(findings, Finding{Key: k, Kind: "determinism",
+				Msg: fmt.Sprintf("%s: result digest changed under %s (%s -> %s): determinism failure or unbumped SimVersion",
+					name, b.SimVersion, short(b.Digest), short(c.Digest))})
+		}
+		if th.Wall > 0 && b.Host.WallSeconds > 0 && c.Host.WallSeconds > 0 {
+			if ratio := c.Host.WallSeconds / b.Host.WallSeconds; ratio > 1+th.Wall {
+				findings = append(findings, Finding{Key: k, Kind: "wall",
+					Msg: fmt.Sprintf("%s: wall time %.3fs -> %.3fs (%.2fx, budget %.2fx)",
+						name, b.Host.WallSeconds, c.Host.WallSeconds, ratio, 1+th.Wall)})
+			}
+		}
+		if th.Allocs > 0 && b.Host.AllocObjs > 0 && c.Host.AllocObjs > 0 {
+			if ratio := float64(c.Host.AllocObjs) / float64(b.Host.AllocObjs); ratio > 1+th.Allocs {
+				findings = append(findings, Finding{Key: k, Kind: "allocs",
+					Msg: fmt.Sprintf("%s: allocations %d -> %d objs (%.2fx, budget %.2fx)",
+						name, b.Host.AllocObjs, c.Host.AllocObjs, ratio, 1+th.Allocs)})
+			}
+		}
+	}
+	return findings, compared
+}
+
+// short abbreviates a digest for messages.
+func short(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tilesim/internal/obs"
+)
+
+func rec(hash, version, digest string, wall float64, allocs uint64) obs.Record {
+	return obs.Record{
+		Label:      "FFT/test",
+		ConfigHash: hash,
+		SimVersion: version,
+		Seed:       1,
+		Digest:     digest,
+		Host:       obs.HostStats{WallSeconds: wall, AllocObjs: allocs},
+	}
+}
+
+var defaultTh = Thresholds{Wall: 0.30, Allocs: 0.10}
+
+func TestDiffClean(t *testing.T) {
+	base := []obs.Record{rec("h1", "v1", "d1", 1.0, 1000)}
+	cur := []obs.Record{rec("h1", "v1", "d1", 1.1, 1050)}
+	findings, compared := Diff(base, cur, defaultTh)
+	if compared != 1 {
+		t.Fatalf("compared %d keys, want 1", compared)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %+v", findings)
+	}
+}
+
+func TestDiffWallRegression(t *testing.T) {
+	base := []obs.Record{rec("h1", "v1", "d1", 1.0, 1000)}
+	cur := []obs.Record{rec("h1", "v1", "d1", 2.0, 1000)}
+	findings, _ := Diff(base, cur, defaultTh)
+	if len(findings) != 1 || findings[0].Kind != "wall" {
+		t.Fatalf("findings = %+v, want one wall regression", findings)
+	}
+	if !strings.Contains(findings[0].Msg, "2.00x") {
+		t.Errorf("message lacks the ratio: %s", findings[0].Msg)
+	}
+}
+
+func TestDiffAllocRegression(t *testing.T) {
+	base := []obs.Record{rec("h1", "v1", "d1", 1.0, 1000)}
+	cur := []obs.Record{rec("h1", "v1", "d1", 1.0, 1200)}
+	findings, _ := Diff(base, cur, defaultTh)
+	if len(findings) != 1 || findings[0].Kind != "allocs" {
+		t.Fatalf("findings = %+v, want one alloc regression", findings)
+	}
+}
+
+func TestDiffThresholdDisables(t *testing.T) {
+	base := []obs.Record{rec("h1", "v1", "d1", 1.0, 1000)}
+	cur := []obs.Record{rec("h1", "v1", "d1", 50.0, 50000)}
+	findings, _ := Diff(base, cur, Thresholds{Wall: 0, Allocs: -1})
+	if len(findings) != 0 {
+		t.Fatalf("disabled thresholds still fired: %+v", findings)
+	}
+}
+
+func TestDiffDeterminismFailure(t *testing.T) {
+	base := []obs.Record{rec("h1", "v1", "d1", 1.0, 1000)}
+	cur := []obs.Record{rec("h1", "v1", "OTHER", 1.0, 1000)}
+	findings, _ := Diff(base, cur, Thresholds{}) // even with all budgets off
+	if len(findings) != 1 || !findings[0].Determinism() {
+		t.Fatalf("findings = %+v, want one determinism failure", findings)
+	}
+}
+
+func TestDiffDigestMayChangeAcrossSimVersions(t *testing.T) {
+	base := []obs.Record{rec("h1", "v1", "d1", 1.0, 1000)}
+	cur := []obs.Record{rec("h1", "v2", "d2", 1.0, 1000)}
+	findings, _ := Diff(base, cur, defaultTh)
+	if len(findings) != 0 {
+		t.Fatalf("version-bumped digest change flagged: %+v", findings)
+	}
+}
+
+func TestDiffSkipsDisjointKeys(t *testing.T) {
+	base := []obs.Record{rec("h1", "v1", "d1", 1.0, 1000)}
+	cur := []obs.Record{rec("h2", "v1", "d2", 99.0, 99000)}
+	findings, compared := Diff(base, cur, defaultTh)
+	if compared != 0 || len(findings) != 0 {
+		t.Fatalf("compared=%d findings=%+v, want nothing for disjoint keys", compared, findings)
+	}
+}
+
+func TestBestPicksFastestLiveRun(t *testing.T) {
+	hit := rec("h1", "v1", "d1", 0, 0)
+	hit.Host.CacheHit = true
+	recs := []obs.Record{
+		rec("h1", "v1", "d1", 3.0, 3000),
+		hit,
+		rec("h1", "v1", "d1", 1.5, 1500),
+		rec("h1", "v1", "d1", 2.0, 2000),
+	}
+	b := best(recs)
+	if b.Host.WallSeconds != 1.5 {
+		t.Fatalf("best wall = %v, want 1.5", b.Host.WallSeconds)
+	}
+}
+
+func TestBestFallsBackToLastRecord(t *testing.T) {
+	hit := rec("h1", "v1", "dLast", 0, 0)
+	hit.Host.CacheHit = true
+	b := best([]obs.Record{rec("h1", "v1", "dFirst", 0, 0), hit})
+	if b.Digest != "dLast" {
+		t.Fatalf("fallback picked %q, want the last record", b.Digest)
+	}
+}
+
+func TestDiffLabelKeyedRecordsSkipDigestCheck(t *testing.T) {
+	b := rec("", "v1", "d1", 1.0, 1000)
+	c := rec("", "v1", "d2", 1.0, 1000)
+	findings, compared := Diff([]obs.Record{b}, []obs.Record{c}, defaultTh)
+	if compared != 1 {
+		t.Fatalf("compared %d, want 1 (matched by label)", compared)
+	}
+	for _, f := range findings {
+		if f.Determinism() {
+			t.Fatalf("label-keyed digest change flagged as determinism failure: %+v", f)
+		}
+	}
+}

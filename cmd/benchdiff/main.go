@@ -1,0 +1,85 @@
+// Command benchdiff compares two run ledgers (JSONL files of
+// internal/obs run records, DESIGN.md §15) and exits non-zero when the
+// newer one regresses against the older one:
+//
+//	benchdiff base.jsonl current.jsonl
+//	benchdiff -wall-threshold 0 -alloc-threshold 0.25 base.jsonl current.jsonl
+//	benchdiff -github BENCH_trajectory.jsonl current.jsonl
+//
+// Runs are matched by config hash (label for uncacheable runs); keys
+// present in only one ledger are ignored. Within a key the fastest
+// live measurement represents each side. Three checks apply:
+//
+//   - determinism: same config hash under the same SimVersion must
+//     produce the same result digest — a mismatch always fails, it
+//     means simulation results silently changed;
+//   - wall time: -wall-threshold (default 0.30) relative budget,
+//     disable with a non-positive value when the ledgers come from
+//     different machines;
+//   - allocations: -alloc-threshold (default 0.10) relative budget on
+//     alloc_objs, which is machine-independent.
+//
+// -github wraps findings in GitHub Actions workflow annotations. Exit
+// status: 0 clean, 1 regression or determinism failure, 2 usage or
+// I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tilesim/internal/obs"
+)
+
+func main() {
+	var (
+		wallThresh  = flag.Float64("wall-threshold", 0.30, "relative wall-time budget (<=0 disables)")
+		allocThresh = flag.Float64("alloc-threshold", 0.10, "relative alloc_objs budget (<=0 disables)")
+		github      = flag.Bool("github", false, "emit GitHub Actions annotations")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] base.jsonl current.jsonl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	base, err := obs.ReadLedgerFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := obs.ReadLedgerFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if len(base) == 0 || len(cur) == 0 {
+		fatal(fmt.Errorf("empty ledger: %s has %d records, %s has %d",
+			flag.Arg(0), len(base), flag.Arg(1), len(cur)))
+	}
+
+	findings, compared := Diff(base, cur, Thresholds{Wall: *wallThresh, Allocs: *allocThresh})
+	for _, f := range findings {
+		if *github {
+			fmt.Printf("::error title=benchdiff %s::%s\n", f.Kind, f.Msg)
+		} else {
+			fmt.Printf("benchdiff: %s: %s\n", f.Kind, f.Msg)
+		}
+	}
+	summary := fmt.Sprintf("%d configurations compared, %d findings", compared, len(findings))
+	if *github {
+		fmt.Printf("::notice title=benchdiff::%s\n", summary)
+	} else {
+		fmt.Println("benchdiff:", summary)
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no overlapping configurations between %s and %s", flag.Arg(0), flag.Arg(1)))
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -35,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -63,6 +64,11 @@ func main() {
 		cacheDir   = flag.String("cache", "", "result cache directory (empty = in-process cache only)")
 
 		metricsDir = flag.String("metrics-dir", "", "write per-figure metrics sidecar JSON files into this directory")
+
+		seriesInterval = flag.Int("series-interval", 0, "sample an epoch time series every N cycles in every cell (0 = off)")
+		seriesDir      = flag.String("series-dir", "", "write per-figure series sidecar JSON files into this directory (needs -series-interval)")
+		ledgerPath     = flag.String("ledger", "", "append one run-ledger JSONL record per simulated cell to this file")
+		pprofDir       = flag.String("pprof-dir", "", "capture cpu.pprof and heap.pprof profiles of the run into this directory")
 	)
 	flag.Parse()
 
@@ -83,6 +89,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *seriesInterval < 0 {
+		fail(fmt.Errorf("-series-interval must be non-negative"))
+	}
+	if *seriesDir != "" && *seriesInterval == 0 {
+		fail(fmt.Errorf("-series-dir needs a positive -series-interval"))
+	}
+	scale.SeriesInterval = *seriesInterval
+
 	cache := sweep.NewMemCache()
 	if *cacheDir != "" {
 		var err error
@@ -92,13 +106,56 @@ func main() {
 	}
 	runner := &sweep.Runner{Jobs: *jobs, Cache: cache, Progress: progressPrinter()}
 
+	if *ledgerPath != "" {
+		l, lf, err := obs.OpenLedger(*ledgerPath)
+		if err != nil {
+			fail(err)
+		}
+		defer lf.Close()
+		runner.Ledger = l
+		procStart := time.Now()
+		runner.WallClock = func() float64 { return time.Since(procStart).Seconds() }
+	}
+
+	if *pprofDir != "" {
+		stop, err := startProfiles(*pprofDir)
+		if err != nil {
+			fail(err)
+		}
+		defer stop()
+	}
+
+	var hooks []func(sweep.JobResult)
 	var sidecars *metricsSidecar
 	if *metricsDir != "" {
 		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
 			fail(err)
 		}
 		sidecars = &metricsSidecar{dir: *metricsDir, runs: make(map[string]obs.Snapshot)}
-		runner.OnResult = sidecars.collect
+		hooks = append(hooks, sidecars.collect)
+	}
+	var seriesSC *seriesSidecar
+	if *seriesDir != "" {
+		if err := os.MkdirAll(*seriesDir, 0o755); err != nil {
+			fail(err)
+		}
+		seriesSC = &seriesSidecar{dir: *seriesDir, runs: make(map[string]*obs.SeriesData)}
+		hooks = append(hooks, seriesSC.collect)
+	}
+	if len(hooks) > 0 {
+		runner.OnResult = func(jr sweep.JobResult) {
+			for _, h := range hooks {
+				h(jr)
+			}
+		}
+	}
+	// flush writes both sidecar families for the figure just completed;
+	// nil receivers are inert.
+	flush := func(name string) error {
+		if err := sidecars.flush(name); err != nil {
+			return err
+		}
+		return seriesSC.flush(name)
 	}
 
 	emit := func(title string, t *stats.Table) {
@@ -114,6 +171,11 @@ func main() {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	trailer := func(what string, start time.Time) {
+		// Ledger appends never fail jobs mid-sweep; surface the first
+		// failure here instead of silently dropping records.
+		if runner.LedgerErr != nil {
+			fail(fmt.Errorf("ledger: %w", runner.LedgerErr))
+		}
 		if *csv {
 			return
 		}
@@ -134,7 +196,7 @@ func main() {
 			fail(err)
 		}
 		emit(fmt.Sprintf("Scale study: %s compression and wire-plane ablations vs. topology and tile count (per-cell baselines)", *scaleApp), t)
-		if err := sidecars.flush("scale"); err != nil {
+		if err := flush("scale"); err != nil {
 			fail(err)
 		}
 		trailer("scale study", start)
@@ -156,7 +218,7 @@ func main() {
 			fail(err)
 		}
 		emit("Ablation C: sensitivity of the MP3D win to router depth and wire speed", t)
-		if err := sidecars.flush("ablations"); err != nil {
+		if err := flush("ablations"); err != nil {
 			fail(err)
 		}
 		trailer("ablations", start)
@@ -170,7 +232,7 @@ func main() {
 			}
 			emit(fmt.Sprintf("Resilience: %s execution time and link ED^2P vs. link BER (DBRC-4/2B over VL+B, retries correct every error)", app), t)
 		}
-		if err := sidecars.flush("resilience"); err != nil {
+		if err := flush("resilience"); err != nil {
 			fail(err)
 		}
 		trailer("resilience sweep", start)
@@ -182,7 +244,7 @@ func main() {
 			fail(err)
 		}
 		emit("Figure 2: address compression coverage (fraction of compressible messages compressed)", t)
-		if err := sidecars.flush("figure2"); err != nil {
+		if err := flush("figure2"); err != nil {
 			fail(err)
 		}
 	}
@@ -192,7 +254,7 @@ func main() {
 			fail(err)
 		}
 		emit("Figure 5: breakdown of messages on the interconnect (baseline)", t)
-		if err := sidecars.flush("figure5"); err != nil {
+		if err := flush("figure5"); err != nil {
 			fail(err)
 		}
 	}
@@ -201,7 +263,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := sidecars.flush("figure6-7"); err != nil {
+		if err := flush("figure6-7"); err != nil {
 			fail(err)
 		}
 		if want(6) {
@@ -281,6 +343,78 @@ func (s *metricsSidecar) flush(name string) error {
 	fmt.Fprintf(os.Stderr, "figures: wrote %d run snapshots to %s\n", len(s.runs), path)
 	s.runs = make(map[string]obs.Snapshot)
 	return nil
+}
+
+// seriesSidecar harvests per-run epoch series from the sweep and
+// writes one JSON sidecar per figure: an object mapping
+// "app/config-label" to that run's series. A nil *seriesSidecar is
+// inert, mirroring metricsSidecar.
+type seriesSidecar struct {
+	dir  string
+	runs map[string]*obs.SeriesData
+}
+
+// collect is a Runner.OnResult hook; duplicate configurations
+// overwrite with an identical series (deterministic results).
+func (s *seriesSidecar) collect(jr sweep.JobResult) {
+	if jr.Err != nil || jr.Result.Series == nil {
+		return
+	}
+	s.runs[jr.Config.App+"/"+jr.Config.Label()] = jr.Result.Series
+}
+
+// flush writes the series collected since the previous flush to
+// <dir>/<name>.series.json and resets the collection.
+func (s *seriesSidecar) flush(name string) error {
+	if s == nil || len(s.runs) == 0 {
+		return nil
+	}
+	data, err := json.MarshalIndent(s.runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, name+".series.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "figures: wrote %d run series to %s\n", len(s.runs), path)
+	s.runs = make(map[string]*obs.SeriesData)
+	return nil
+}
+
+// startProfiles begins a CPU profile in dir and returns a stop
+// function that finalizes it and captures a heap profile. Profiles are
+// host-side observability only: they never touch simulation state.
+func startProfiles(dir string) (func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cf, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cf.Close()
+		hf, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures: heap profile:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(hf); err == nil {
+			err = hf.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures: heap profile:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote cpu.pprof and heap.pprof to %s\n", dir)
+	}, nil
 }
 
 // progressPrinter returns a sweep progress callback that rewrites one

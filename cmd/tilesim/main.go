@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"tilesim/internal/cmp"
 	"tilesim/internal/compress"
@@ -42,8 +43,42 @@ import (
 	"tilesim/internal/mesh"
 	"tilesim/internal/noc"
 	"tilesim/internal/obs"
+	"tilesim/internal/sweep"
 	"tilesim/internal/workload"
 )
+
+// appendLedger opens (or creates) the JSONL run ledger at path and
+// appends one record.
+func appendLedger(path string, rec obs.Record) error {
+	l, f, err := obs.OpenLedger(path)
+	if err != nil {
+		return err
+	}
+	if err := l.Append(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSeries writes the epoch series as CSV or JSON, chosen by the
+// file extension (.json selects JSON, anything else CSV).
+func writeSeries(path string, s *obs.SeriesData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = s.WriteJSON(f)
+	} else {
+		err = s.WriteCSV(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	var (
@@ -61,6 +96,10 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event file (Perfetto) to this file")
 		traceSample = flag.Int("trace-sample", 1, "trace every Nth message lifecycle")
+
+		seriesOut      = flag.String("series-out", "", "write the epoch time series to this file (.csv or .json by extension)")
+		seriesInterval = flag.Int("series-interval", 1024, "epoch series sampling interval in cycles (with -series-out)")
+		ledgerPath     = flag.String("ledger", "", "append a run-ledger JSONL record to this file")
 
 		faultBER          = flag.Float64("fault-ber", 0, "per-wire bit-error rate (0 disables bit errors)")
 		faultVLScale      = flag.Float64("fault-vl-ber-scale", 0, "VL-plane BER multiplier (0 or 1 = same as B)")
@@ -93,6 +132,13 @@ func main() {
 			RetryLimit:   *faultRetryLimit,
 		},
 	}
+	if *seriesOut != "" {
+		if *seriesInterval <= 0 {
+			fmt.Fprintln(os.Stderr, "tilesim: -series-out needs a positive -series-interval")
+			os.Exit(1)
+		}
+		cfg.SeriesInterval = *seriesInterval
+	}
 	sys, err := cmp.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tilesim:", err)
@@ -109,10 +155,22 @@ func main() {
 		tracer = obs.NewTracer(traceFile, *traceSample)
 		sys.SetTracer(tracer)
 	}
+	wallStart := time.Now()
+	hostStart := obs.ReadHostStats()
 	r, err := sys.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tilesim:", err)
 		os.Exit(1)
+	}
+	if *ledgerPath != "" {
+		jr := sweep.JobResult{Config: cfg, Result: r}
+		jr.Host = obs.ReadHostStats().Sub(hostStart)
+		jr.Host.WallSeconds = time.Since(wallStart).Seconds()
+		key, _ := sweep.Key(cfg) // "" for uncacheable configs
+		if err := appendLedger(*ledgerPath, sweep.LedgerRecord(jr, key)); err != nil {
+			fmt.Fprintln(os.Stderr, "tilesim: ledger:", err)
+			os.Exit(1)
+		}
 	}
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
@@ -124,6 +182,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "tilesim: wrote trace to %s (load at https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *seriesOut != "" {
+		if err := writeSeries(*seriesOut, r.Series); err != nil {
+			fmt.Fprintln(os.Stderr, "tilesim: series:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tilesim: wrote %d series samples to %s\n", r.Series.Rows(), *seriesOut)
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

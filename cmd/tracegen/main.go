@@ -18,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"tilesim/internal/cmp"
 	"tilesim/internal/compress"
 	"tilesim/internal/obs"
+	"tilesim/internal/sweep"
 	"tilesim/internal/trace"
 	"tilesim/internal/workload"
 )
@@ -43,6 +46,10 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "replay: write the metrics snapshot as JSON to this file")
 		traceOut    = flag.String("trace-out", "", "replay: write a Chrome trace-event file (Perfetto) to this file")
 		traceSample = flag.Int("trace-sample", 1, "replay: trace every Nth message lifecycle")
+
+		seriesOut      = flag.String("series-out", "", "replay: write the epoch time series to this file (.csv or .json by extension)")
+		seriesInterval = flag.Int("series-interval", 1024, "replay: epoch series sampling interval in cycles (with -series-out)")
+		ledgerPath     = flag.String("ledger", "", "replay: append a run-ledger JSONL record to this file")
 	)
 	flag.Parse()
 
@@ -72,7 +79,19 @@ func main() {
 			Heterogeneous: *het,
 			WarmupRefs:    *warmup,
 		}
-		runReplay(*replay, cfg, *metricsOut, *traceOut, *traceSample)
+		if *seriesOut != "" {
+			if *seriesInterval <= 0 {
+				fatal(fmt.Errorf("-series-out needs a positive -series-interval"))
+			}
+			cfg.SeriesInterval = *seriesInterval
+		}
+		runReplay(*replay, cfg, replayOutputs{
+			metricsOut:  *metricsOut,
+			traceOut:    *traceOut,
+			traceSample: *traceSample,
+			seriesOut:   *seriesOut,
+			ledgerPath:  *ledgerPath,
+		})
 		return
 	}
 
@@ -86,10 +105,19 @@ func main() {
 	}
 }
 
+// replayOutputs bundles the observability sinks of one replay run.
+type replayOutputs struct {
+	metricsOut  string
+	traceOut    string
+	traceSample int
+	seriesOut   string
+	ledgerPath  string
+}
+
 // runReplay decodes path and drives the simulator from the recorded
 // streams. cfg carries the interconnect knobs; App, RefsPerCore and
 // Generator are filled in here from the trace itself.
-func runReplay(path string, cfg cmp.RunConfig, metricsOut, traceOut string, traceSample int) {
+func runReplay(path string, cfg cmp.RunConfig, outs replayOutputs) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -118,17 +146,37 @@ func runReplay(path string, cfg cmp.RunConfig, metricsOut, traceOut string, trac
 	}
 	var traceFile *os.File
 	var tracer *obs.Tracer
-	if traceOut != "" {
-		traceFile, err = os.Create(traceOut)
+	if outs.traceOut != "" {
+		traceFile, err = os.Create(outs.traceOut)
 		if err != nil {
 			fatal(err)
 		}
-		tracer = obs.NewTracer(traceFile, traceSample)
+		tracer = obs.NewTracer(traceFile, outs.traceSample)
 		sys.SetTracer(tracer)
 	}
+	wallStart := time.Now()
+	hostStart := obs.ReadHostStats()
 	r, err := sys.Run()
 	if err != nil {
 		fatal(err)
+	}
+	if outs.ledgerPath != "" {
+		// Replay configs carry a Generator and are uncacheable, so the
+		// record has no config hash; the digest still identifies the
+		// deterministic result.
+		jr := sweep.JobResult{Config: cfg, Result: r}
+		jr.Host = obs.ReadHostStats().Sub(hostStart)
+		jr.Host.WallSeconds = time.Since(wallStart).Seconds()
+		l, lf, err := obs.OpenLedger(outs.ledgerPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := l.Append(sweep.LedgerRecord(jr, "")); err == nil {
+			err = lf.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
@@ -137,10 +185,28 @@ func runReplay(path string, cfg cmp.RunConfig, metricsOut, traceOut string, trac
 		if err := traceFile.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "tracegen: wrote trace to %s (load at https://ui.perfetto.dev)\n", traceOut)
+		fmt.Fprintf(os.Stderr, "tracegen: wrote trace to %s (load at https://ui.perfetto.dev)\n", outs.traceOut)
 	}
-	if metricsOut != "" {
-		mf, err := os.Create(metricsOut)
+	if outs.seriesOut != "" {
+		sf, err := os.Create(outs.seriesOut)
+		if err != nil {
+			fatal(err)
+		}
+		if strings.HasSuffix(outs.seriesOut, ".json") {
+			err = r.Series.WriteJSON(sf)
+		} else {
+			err = r.Series.WriteCSV(sf)
+		}
+		if err == nil {
+			err = sf.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d series samples to %s\n", r.Series.Rows(), outs.seriesOut)
+	}
+	if outs.metricsOut != "" {
+		mf, err := os.Create(outs.metricsOut)
 		if err != nil {
 			fatal(err)
 		}
@@ -150,7 +216,7 @@ func runReplay(path string, cfg cmp.RunConfig, metricsOut, traceOut string, trac
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "tracegen: wrote %d metrics to %s\n", len(r.Metrics), metricsOut)
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d metrics to %s\n", len(r.Metrics), outs.metricsOut)
 	}
 
 	fmt.Printf("replayed            %s (%d cores, %d loads, %d stores)\n", path, s.Cores, s.Loads, s.Stores)

@@ -30,8 +30,11 @@
 //	internal/energy     link/router/chip energy, ED^2P        DESIGN.md §5
 //	internal/workload   13 SPLASH-2-class synthetic apps      DESIGN.md §5
 //	internal/core       the proposal: compress + plane map    DESIGN.md §1
+//	internal/obs        metrics registry, tracer, epoch       DESIGN.md §10, §15
+//	                    series, run ledger, host stats
 //	internal/trace      workload record/replay                DESIGN.md §7
-//	internal/sweep      parallel sweep engine + result cache  DESIGN.md §9
+//	internal/sweep      parallel sweep engine + result cache  DESIGN.md §9, §15
+//	                    + ledger records
 //	internal/figures    paper table/figure regeneration       DESIGN.md §4
 //	internal/analysis   tilesimvet static-analysis rules      DESIGN.md §8
 //	cmd/tilesim         single-run CLI
@@ -40,6 +43,8 @@
 //	                    topology scale study (-scale) via the
 //	                    sweep engine
 //	cmd/tracegen        trace capture and summary
+//	cmd/benchdiff       run-ledger diff: determinism and      DESIGN.md §15
+//	                    perf-regression gate
 //	cmd/tilesimvet      the static analyzer CLI
 //
 // The benchmarks in bench_test.go regenerate each table and figure at a

@@ -55,6 +55,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -97,6 +98,19 @@ const (
 	// on the stack; `tilesimvet -escapes` fails when the compiler's
 	// escape analysis disagrees (see Escapes).
 	NoEscapeAnnotation = "tilesim:noescape"
+	// HostOnlyAnnotation marks a function-typed struct field as a
+	// host-side observability conduit (mandatory reason):
+	//
+	//	//tilesim:hostonly wall-clock profiling; never feeds results
+	//	WallClock func() float64
+	//
+	// The taint rule stops at the annotated field instead of following
+	// function values stored into it, so cmd/ front-ends may inject
+	// wall-clock readers for the run ledger (DESIGN.md §15) without
+	// tainting every internal/ caller. The contract the reason must
+	// defend: values read through the field never influence simulated
+	// behavior or results.
+	HostOnlyAnnotation = "tilesim:hostonly"
 )
 
 // Diagnostic is one finding.
@@ -133,6 +147,7 @@ type pass struct {
 	// finding).
 	allocok  map[*ast.File]map[int]string
 	sharedok map[*ast.File]map[int]string
+	hostonly map[*ast.File]map[int]string
 
 	report func(Diagnostic)
 }
@@ -201,6 +216,20 @@ type module struct {
 	targets map[string]*Package
 }
 
+// passFor returns the pass analyzing pkg's source, or nil when pkg is
+// only visible through export data (or nil itself).
+func (m *module) passFor(pkg *types.Package) *pass {
+	if pkg == nil {
+		return nil
+	}
+	for _, p := range m.passes {
+		if p.pkg.Path == pkg.Path() {
+			return p
+		}
+	}
+	return nil
+}
+
 // Run loads the packages matched by patterns from dir and applies every
 // analyzer, returning the findings sorted by position.
 func Run(dir string, patterns []string) ([]Diagnostic, error) {
@@ -230,6 +259,7 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 			hotpath:    collectAnnotations(fset, pkg, HotPathAnnotation),
 			allocok:    collectReasonAnnotations(fset, pkg, AllocOKAnnotation),
 			sharedok:   collectReasonAnnotations(fset, pkg, SharedOKAnnotation),
+			hostonly:   collectReasonAnnotations(fset, pkg, HostOnlyAnnotation),
 			report:     report,
 		}
 		mod.passes = append(mod.passes, p)

@@ -37,6 +37,7 @@ func TestFixtureFindings(t *testing.T) {
 		{"badfloat", "floatorder", 3},
 		{"badcanon", "canoncover", 1},
 		{"badmetricskeys", "metricskeys", 3},
+		{"badseries", "metricskeys", 4},
 		{"badhotalloc", "hotalloc", 11},
 		{"badsharedstate", "sharedstate", 6},
 	}
@@ -83,6 +84,7 @@ func TestFixtureFindingsAnchored(t *testing.T) {
 		{"badtaint", []int{16, 19, 24, 31, 35}},
 		{"badcanon", []int{25}},
 		{"badmetricskeys", []int{23, 30, 37}},
+		{"badseries", []int{26, 33, 39, 45}},
 		{"badhotalloc", []int{26, 28, 30, 31, 32, 37, 39, 41, 43, 54, 55}},
 		{"badsharedstate", []int{34, 37, 38, 40, 44, 58}},
 	}
@@ -126,7 +128,7 @@ func TestTaintFixture(t *testing.T) {
 // new-rule fixture against its checked-in want.txt, pinning message
 // wording, positions, and ordering all at once.
 func TestGoldenFixtures(t *testing.T) {
-	for _, fixture := range []string{"badsort", "badfloat", "badtaint", "badcanon", "badmetricskeys", "badhotalloc", "badsharedstate"} {
+	for _, fixture := range []string{"badsort", "badfloat", "badtaint", "badcanon", "badmetricskeys", "badseries", "badhotalloc", "badsharedstate"} {
 		t.Run(fixture, func(t *testing.T) {
 			diags := runFixture(t, fixture)
 			var b strings.Builder

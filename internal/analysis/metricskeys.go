@@ -13,13 +13,24 @@ var registrationMethods = map[string]bool{
 	"Counter": true, "Gauge": true, "Mean": true, "Histogram": true,
 }
 
+// seriesRegistrationMethods are the obs.Series entry points: the first
+// argument is the column name (same determinism contract as metric
+// names — series CSV/JSON output is keyed and ordered by it), the
+// remaining arguments are sampler functions the series reads every
+// epoch.
+var seriesRegistrationMethods = map[string]bool{
+	"Delta": true, "Level": true, "Utilization": true, "DeltaRatio": true,
+}
+
 // checkMetricsKeys enforces byte-deterministic metric naming at every
-// obs.Registry registration site in simulator-core (internal/)
-// packages. Snapshot output is keyed by metric name, so a name that
-// varies between same-seed runs — a pointer rendered with %p, a name
-// assembled from an unrecognizable dynamic expression — breaks the
-// byte-identity contract of DESIGN.md §10 even when every value is
-// deterministic.
+// obs.Registry and obs.Series registration site in simulator-core
+// (internal/) packages. Snapshot output is keyed by metric name and
+// series output is keyed and column-ordered by column name, so a name
+// that varies between same-seed runs — a pointer rendered with %p, a
+// name assembled from an unrecognizable dynamic expression — breaks
+// the byte-identity contract of DESIGN.md §10/§15 even when every
+// value is deterministic. Series registrations additionally must not
+// pass a literal nil sampler, which panics at registration.
 //
 // The name argument must be *constant-rooted*: following left
 // operands through string concatenation, fmt.Sprintf (whose format
@@ -58,9 +69,22 @@ func (p *pass) checkMetricsKeysFunc(fd *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		fn := p.obsMethodCallee(sel, "Registry")
+		recv := "Registry"
+		fn := p.obsMethodCallee(sel, recv)
 		if fn == nil || !registrationMethods[fn.Name()] {
-			return true
+			recv = "Series"
+			fn = p.obsMethodCallee(sel, recv)
+			if fn == nil || !seriesRegistrationMethods[fn.Name()] {
+				return true
+			}
+			// A literal nil sampler compiles but panics the moment the
+			// column is registered; catch it statically.
+			for _, arg := range call.Args[1:] {
+				if tv, ok := p.pkg.Info.Types[arg]; ok && tv.IsNil() {
+					p.reportf("metricskeys", arg.Pos(),
+						"literal nil sampler passed to Series.%s panics at registration; pass a real sampler or drop the column", fn.Name())
+				}
+			}
 		}
 		name := call.Args[0]
 		if verb, bad := p.pointerFormatted(name, defs, 0); bad {
@@ -69,8 +93,8 @@ func (p *pass) checkMetricsKeysFunc(fd *ast.FuncDecl) {
 		}
 		if !p.constantRooted(name, defs, 0) {
 			p.reportf("metricskeys", name.Pos(),
-				"metric name passed to Registry.%s is not rooted in a constant string; start the name with a constant family prefix so snapshots stay byte-deterministic and names stay grep-able",
-				fn.Name())
+				"metric name passed to %s.%s is not rooted in a constant string; start the name with a constant family prefix so snapshots stay byte-deterministic and names stay grep-able",
+				recv, fn.Name())
 		}
 		return true
 	})

@@ -1,0 +1,58 @@
+// Package badseries is a tilesimvet fixture: it registers epoch-series
+// columns (obs.Series, DESIGN.md §15) under names with no constant
+// root, under a pointer-formatted name, and with a literal nil
+// sampler — each a distinct way to break the series' byte-identity or
+// crash at registration.
+package badseries
+
+import (
+	"fmt"
+
+	"tilesim/internal/obs"
+)
+
+// Channel mimics a component with sampleable counters.
+type Channel struct {
+	flits uint64
+	busy  uint64
+}
+
+func (c *Channel) flitCount() uint64  { return c.flits }
+func (c *Channel) busyCycles() uint64 { return c.busy }
+
+// RegisterOpaque takes the whole column name from the caller: nothing
+// roots it in a constant family prefix.
+func RegisterOpaque(s *obs.Series, name string, c *Channel) {
+	s.Delta(name, c.flitCount) // want: metricskeys finding here
+}
+
+// RegisterPointer keys the column by the channel's address, which
+// differs on every run and reorders the sorted columns.
+func RegisterPointer(s *obs.Series, c *Channel) {
+	name := fmt.Sprintf("chan.%p.flits", c)
+	s.Utilization(name, c.busyCycles) // want: metricskeys finding here
+}
+
+// RegisterNilSampler passes a literal nil sampler, which the series
+// rejects with a panic the moment the column is registered.
+func RegisterNilSampler(s *obs.Series) {
+	s.Level("chan.depth", nil) // want: metricskeys finding here
+}
+
+// RegisterNilRatio hides the nil in the second sampler slot of the
+// two-argument registration.
+func RegisterNilRatio(s *obs.Series, c *Channel) {
+	s.DeltaRatio("chan.ratio", c.flitCount, nil) // want: metricskeys finding here
+}
+
+// RegisterConstant and RegisterDerived are the sanctioned spellings:
+// a constant name, and deterministic derived segments under a constant
+// family root.
+func RegisterConstant(s *obs.Series, c *Channel) {
+	s.Delta("chan.flits", c.flitCount)
+}
+
+func RegisterDerived(s *obs.Series, i int, c *Channel) {
+	name := fmt.Sprintf("chan.%02d", i)
+	s.DeltaRatio(name+".busy_ratio", c.busyCycles, c.flitCount)
+}

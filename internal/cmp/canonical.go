@@ -53,5 +53,13 @@ func (c RunConfig) Canonical() (string, error) {
 	if c.Faults.Enabled() {
 		enc += " faults=" + c.Faults.Canonical()
 	}
+	// The series interval appends only when sampling is enabled, so
+	// every series-free configuration keeps its pre-series cache key.
+	// Sampling never feeds back into the simulation, but the sampled
+	// series rides in the Result, so the interval distinguishes cache
+	// entries.
+	if c.SeriesInterval > 0 {
+		enc += fmt.Sprintf(" series=%d", c.SeriesInterval)
+	}
 	return enc, nil
 }

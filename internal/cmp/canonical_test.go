@@ -93,6 +93,7 @@ func TestCanonicalCoversEveryField(t *testing.T) {
 		"RouterLatency":     func(c *RunConfig) { c.RouterLatency = 4 },
 		"LinkCyclesScale":   func(c *RunConfig) { c.LinkCyclesScale = 0.5 },
 		"Faults":            func(c *RunConfig) { c.Faults.BER = 1e-6 },
+		"SeriesInterval":    func(c *RunConfig) { c.SeriesInterval = 1024 },
 	}
 	for name, mut := range mutate {
 		cfg := base
@@ -104,6 +105,10 @@ func TestCanonicalCoversEveryField(t *testing.T) {
 	// Disabled fault injection must not perturb pre-fault cache keys.
 	if strings.Contains(ref, "faults=") {
 		t.Errorf("fault-free encoding mentions faults: %s", ref)
+	}
+	// Disabled series sampling must not perturb pre-series cache keys.
+	if strings.Contains(ref, "series=") {
+		t.Errorf("series-free encoding mentions series: %s", ref)
 	}
 
 	// Completeness: every RunConfig field must appear above, so adding

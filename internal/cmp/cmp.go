@@ -67,6 +67,14 @@ type RunConfig struct {
 	// latencies (0 keeps 1.0). Sensitivity-ablation knobs.
 	RouterLatency   int
 	LinkCyclesScale float64
+	// SeriesInterval, when positive, samples an epoch series every that
+	// many simulated cycles (DESIGN.md §15): per-window deltas of the
+	// registered counters land in Result.Series. 0 (the default)
+	// disables sampling and preserves pre-series behavior and cache
+	// keys. Sampling reads state only — it never feeds back into the
+	// simulation — but the series rides in the Result, so the interval
+	// is part of the canonical encoding.
+	SeriesInterval int
 	// Generator, when non-nil, drives the cores instead of the named
 	// App (e.g. a replayed trace). App is then only a label, and
 	// RefsPerCore/WarmupRefs apply to the generator's stream.
@@ -175,6 +183,12 @@ type Result struct {
 	// residency, compression pipeline. Deterministic for a fixed
 	// config+seed; rides along in cached sweep results.
 	Metrics obs.Snapshot
+
+	// Series is the epoch time series sampled every
+	// RunConfig.SeriesInterval cycles (nil when the interval is 0).
+	// Deterministic for a fixed config+seed; rides along in cached
+	// sweep results.
+	Series *obs.SeriesData
 }
 
 // LinkED2P returns the link energy-delay^2 product.
@@ -258,6 +272,9 @@ func (s *System) takeWarmupSnapshot() {
 func NewSystem(cfg RunConfig) (*System, error) {
 	if cfg.RefsPerCore <= 0 {
 		return nil, fmt.Errorf("cmp: RefsPerCore must be positive")
+	}
+	if cfg.SeriesInterval < 0 {
+		return nil, fmt.Errorf("cmp: SeriesInterval must be non-negative, got %d", cfg.SeriesInterval)
 	}
 	topo, err := cfg.BuildTopology()
 	if err != nil {
@@ -355,6 +372,10 @@ func (s *System) Run() (Result, error) {
 	if s.tracer != nil {
 		s.startCounterPoller()
 	}
+	var seriesData *obs.SeriesData
+	if s.cfg.SeriesInterval > 0 {
+		seriesData = s.startSeries()
+	}
 	s.K.Run(nil)
 
 	// A retry-budget exhaustion drops a protocol message, so the cores
@@ -412,6 +433,7 @@ func (s *System) Run() (Result, error) {
 	r.RequestLatencyP50 = s.Net.LatencyPercentile(noc.ClassRequest, 0.50)
 	r.RequestLatencyP99 = s.Net.LatencyPercentile(noc.ClassRequest, 0.99)
 	r.Metrics = s.Registry().Snapshot()
+	r.Series = seriesData
 	return r, nil
 }
 

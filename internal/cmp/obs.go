@@ -38,6 +38,21 @@ func (s *System) SetTracer(t *obs.Tracer) {
 	s.Proto.SetTracer(t)
 }
 
+// startSeries assembles the epoch series over every component's
+// time-resolved probes (DESIGN.md §15) and schedules it on the
+// kernel. Called from Run when SeriesInterval is positive; the sampler
+// stops itself when the event queue drains, and — like every obs hook
+// — only reads state, so attaching it never changes a simulated
+// outcome.
+func (s *System) startSeries() *obs.SeriesData {
+	se := obs.NewSeries(sim.Time(s.cfg.SeriesInterval))
+	se.Delta("sim.events", s.K.Processed)
+	s.Net.RegisterSeries(se)
+	s.Proto.RegisterSeries(se)
+	s.Mgr.RegisterSeries(se)
+	return se.Start(s.K)
+}
+
 // startCounterPoller samples the occupancy time series into the trace
 // while the simulation runs. Called from Run when a tracer is
 // attached; the poller stops itself when the event queue drains.

@@ -482,3 +482,66 @@ func TestLocalHomeAccess(t *testing.T) {
 	ts.drain(t)
 	ts.checkInvariants(t, []uint64{addr})
 }
+
+// TestBusyCountMatchesWalk cross-checks the incrementally maintained
+// busy-entry count (setBusy/busyCount) against a full directory walk
+// after every kernel event of a conflict-heavy random workload, then
+// again after the drain. A drift here means some transaction path
+// flips dirEntry.busy without going through setBusy.
+func TestBusyCountMatchesWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	delayRng := rand.New(rand.NewSource(42 * 77))
+	ts := newTestSystem(func(*noc.Message) sim.Time {
+		return sim.Time(1 + delayRng.Intn(40))
+	})
+	check := func() {
+		for _, h := range ts.p.homes {
+			walked := 0
+			for _, e := range h.dir {
+				if e.busy {
+					walked++
+				}
+			}
+			if got := h.busyCount(); got != walked {
+				t.Fatalf("home %d: busyCount() = %d, directory walk = %d", h.id, got, walked)
+			}
+		}
+	}
+	blocks := make([]uint64, 8)
+	for i := range blocks {
+		blocks[i] = uint64(0x700000 + i*64)
+	}
+	const opsPerTile = 25
+	doneCount := 0
+	var launch func(tile, remaining int)
+	launch = func(tile, remaining int) {
+		if remaining == 0 {
+			doneCount++
+			return
+		}
+		addr := blocks[rng.Intn(len(blocks))]
+		cont := func() { launch(tile, remaining-1) }
+		if rng.Intn(3) == 0 {
+			ts.p.L1(tile).Store(addr, cont)
+		} else {
+			ts.p.L1(tile).Load(addr, cont)
+		}
+	}
+	for tile := 0; tile < 16; tile++ {
+		launch(tile, opsPerTile)
+	}
+	// The stop predicate runs between events: verify the counter after
+	// every step of the simulation, not just at quiescence.
+	ts.k.Run(func() bool {
+		check()
+		return false
+	})
+	if doneCount != 16 {
+		t.Fatalf("only %d/16 tiles finished", doneCount)
+	}
+	ts.drain(t)
+	check()
+	if n := ts.p.OutstandingTransactions(); n != 0 {
+		t.Fatalf("%d transactions outstanding after drain", n)
+	}
+}

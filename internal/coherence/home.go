@@ -56,6 +56,10 @@ type HomeController struct {
 
 	l2  *cache.Cache
 	dir map[uint64]*dirEntry
+	// busyEntries counts dir entries with busy set, maintained by
+	// setBusy so busyCount is O(1) — it runs on every drain check and
+	// epoch-series sample, where a directory walk dominated the cost.
+	busyEntries int
 
 	// Statistics.
 	Requests     stats.Counter
@@ -112,15 +116,27 @@ func (h *HomeController) sortedBlocks() []uint64 {
 	return blocks
 }
 
-func (h *HomeController) busyCount() int {
-	n := 0
-	for _, b := range h.sortedBlocks() {
-		if h.dir[b].busy {
-			n++
-		}
+// setBusy transitions an entry's busy flag while maintaining the
+// running busy-entry count. No-op transitions are tolerated: finishTxn
+// clears a flag fillL2's continuation may already have cleared.
+func (h *HomeController) setBusy(e *dirEntry, v bool) {
+	if e.busy == v {
+		return
 	}
-	return n
+	e.busy = v
+	if v {
+		h.busyEntries++
+	} else {
+		h.busyEntries--
+	}
 }
+
+// busyCount returns the number of busy directory entries. It reads the
+// incrementally maintained count (TestBusyCountMatchesWalk cross-checks
+// it against a directory walk) because it runs on every drain check and
+// epoch-series sample, where walking — let alone sorting — the
+// directory dominated the sample cost.
+func (h *HomeController) busyCount() int { return h.busyEntries }
 
 // wantsInvAck reports whether an InvAck for block belongs to a recall in
 // progress at this home (as opposed to a requestor L1's transaction).
@@ -182,7 +198,8 @@ func (h *HomeController) handleGetS(m *noc.Message, block uint64, e *dirEntry) {
 	if e.owner >= 0 {
 		// 3-hop read: intervene at the owner.
 		h.Forwards.Inc()
-		e.busy, e.kind, e.requestor, e.reqType = true, txnFwdS, m.Src, m.Type
+		h.setBusy(e, true)
+		e.kind, e.requestor, e.reqType = txnFwdS, m.Src, m.Type
 		e.pendingCloses = 1 // the owner's Revision
 		fwd := h.p.msg(noc.FwdGetS, h.id, e.owner, block, m.Txn)
 		fwd.ReplyTo = m.Src
@@ -235,7 +252,8 @@ func (h *HomeController) handleGetX(m *noc.Message, block uint64, e *dirEntry) {
 	}
 	if e.owner >= 0 {
 		h.Forwards.Inc()
-		e.busy, e.kind, e.requestor, e.reqType = true, txnFwdX, m.Src, m.Type
+		h.setBusy(e, true)
+		e.kind, e.requestor, e.reqType = txnFwdX, m.Src, m.Type
 		e.pendingCloses = 2 // the owner's Revision + the requestor's OwnAck
 		fwd := h.p.msg(noc.FwdGetX, h.id, e.owner, block, m.Txn)
 		fwd.ReplyTo = m.Src
@@ -254,7 +272,8 @@ func (h *HomeController) handleGetX(m *noc.Message, block uint64, e *dirEntry) {
 		// Ownership transfers stay busy until the requestor confirms
 		// completion, so recalls and interventions can never race an
 		// in-flight grant.
-		e.busy, e.kind, e.pendingCloses = true, txnGrant, 1
+		h.setBusy(e, true)
+		e.kind, e.pendingCloses = txnGrant, 1
 		h.sendDataGrant(grant, delay)
 	})
 }
@@ -273,7 +292,8 @@ func (h *HomeController) handleUpgrade(m *noc.Message, block uint64, e *dirEntry
 		grant.AckCount = others.Count()
 		e.sharers.Clear()
 		e.owner = m.Src
-		e.busy, e.kind, e.pendingCloses = true, txnGrant, 1
+		h.setBusy(e, true)
+		e.kind, e.pendingCloses = txnGrant, 1
 		h.p.send(grant)
 		return
 	}
@@ -408,7 +428,7 @@ func (h *HomeController) recallAckArrived(block uint64, e *dirEntry) {
 
 // finishTxn clears the busy state and drains queued requests in order.
 func (h *HomeController) finishTxn(block uint64, e *dirEntry) {
-	e.busy = false
+	h.setBusy(e, false)
 	e.kind = txnNone
 	queued := e.queue
 	e.queue = nil
@@ -443,7 +463,8 @@ func (h *HomeController) ensureData(block uint64, e *dirEntry, cont func(delay s
 	}
 	h.L2Misses.Inc()
 	h.MemFetches.Inc()
-	e.busy, e.kind = true, txnFill
+	h.setBusy(e, true)
+	e.kind = txnFill
 	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
 	h.p.k.Schedule(sim.Time(h.p.cfg.MemCycles), func() { h.fillL2(block, e, cont) })
 }
@@ -464,7 +485,8 @@ func (h *HomeController) fillL2(block uint64, e *dirEntry, cont func(delay sim.T
 		// The fill transaction ends here; cont may immediately open an
 		// ownership-grant transaction on the same entry, in which case
 		// the queued requests keep waiting for its OwnAck.
-		e.busy, e.kind = false, txnNone
+		h.setBusy(e, false)
+		e.kind = txnNone
 		cont(0)
 		if !e.busy {
 			h.finishTxn(block, e)
@@ -484,7 +506,8 @@ func (h *HomeController) fillL2(block uint64, e *dirEntry, cont func(delay sim.T
 	}
 	// Inclusion recall.
 	h.Recalls.Inc()
-	ve.busy, ve.kind = true, txnRecall
+	h.setBusy(ve, true)
+	ve.kind = txnRecall
 	if ve.owner >= 0 {
 		ve.recallAcks = 1
 		inv := h.p.msg(noc.Inv, h.id, ve.owner, vblock, h.p.txn())

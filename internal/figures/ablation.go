@@ -54,9 +54,7 @@ func AblationWiring(runner *sweep.Runner, scale Scale, apps []string) ([]WiringA
 	for _, app := range apps {
 		jobs = append(jobs, scale.job(app, compress.Spec{Kind: "none"}))
 		for _, l := range layouts {
-			cfg := l.cfg(app)
-			cfg.RefsPerCore, cfg.WarmupRefs, cfg.Seed = scale.RefsPerCore, scale.WarmupRefs, scale.Seed
-			jobs = append(jobs, cfg)
+			jobs = append(jobs, scale.apply(l.cfg(app)))
 		}
 	}
 	jrs := runner.Run(jobs)

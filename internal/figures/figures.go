@@ -40,18 +40,27 @@ type Scale struct {
 	RefsPerCore int
 	WarmupRefs  int
 	Seed        int64
+	// SeriesInterval, when positive, samples an epoch time series every
+	// that many cycles in every cell of every figure (cmp.RunConfig's
+	// knob, DESIGN.md §15). cmd/figures surfaces it as -series-interval
+	// and writes the per-cell series next to the metrics sidecars.
+	SeriesInterval int
+}
+
+// apply stamps the scale's run-length and sampling knobs onto a
+// hand-built configuration. Every figure routes its configs through
+// here (directly or via job), so a scale knob added once reaches every
+// cell.
+func (s Scale) apply(cfg cmp.RunConfig) cmp.RunConfig {
+	cfg.RefsPerCore, cfg.WarmupRefs, cfg.Seed = s.RefsPerCore, s.WarmupRefs, s.Seed
+	cfg.SeriesInterval = s.SeriesInterval
+	return cfg
 }
 
 // job binds an (application, scheme) pair to this scale on the
 // baseline wiring; callers flip wiring knobs on the returned config.
 func (s Scale) job(app string, spec compress.Spec) cmp.RunConfig {
-	return cmp.RunConfig{
-		App:         app,
-		RefsPerCore: s.RefsPerCore,
-		WarmupRefs:  s.WarmupRefs,
-		Seed:        s.Seed,
-		Compression: spec,
-	}
+	return s.apply(cmp.RunConfig{App: app, Compression: spec})
 }
 
 // defaulted maps a nil runner to the default engine.

@@ -142,7 +142,7 @@ func ScaleStudy(runner *sweep.Runner, scale Scale, app string, tiles []int, topo
 			cells = append(cells, cell{topo: topo, tiles: n, avgHops: mesh.AvgHops(t)})
 			s := scaleRefs(scale, n)
 			mk := func(cfg cmp.RunConfig) cmp.RunConfig {
-				cfg.RefsPerCore, cfg.WarmupRefs, cfg.Seed = s.RefsPerCore, s.WarmupRefs, s.Seed
+				cfg = s.apply(cfg)
 				cfg.Topology, cfg.Tiles = topo, n
 				return cfg
 			}

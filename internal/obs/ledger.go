@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime/metrics"
+	"sync"
+)
+
+// Ledger records one JSONL line per simulation run: the deterministic
+// identity of the run (config hash, simulator version, seed, result
+// digest) plus host-side performance fields that are explicitly
+// allowed to vary between machines and runs (DESIGN.md §15). The two
+// field families never mix: cmd/benchdiff treats identity mismatches
+// as determinism failures and host-side drift as performance
+// regressions, and nothing host-side ever feeds back into a
+// simulation or a cache key.
+
+// Record is one ledger line.
+type Record struct {
+	// Deterministic identity: must be byte-identical for same-seed
+	// reruns of the same config on any machine.
+	Label      string `json:"label,omitempty"` // human tag: figure/app/cell
+	ConfigHash string `json:"config_hash"`     // sweep.Key(cfg): SimVersion + canonical config
+	SimVersion string `json:"sim_version"`
+	Seed       uint64 `json:"seed"`
+	Digest     string `json:"result_digest"` // sha256 over the canonical result encoding
+
+	// Host-side performance: machine- and run-dependent by nature.
+	Host HostStats `json:"host"`
+}
+
+// HostStats are the per-run host-side measurements. Zero values mean
+// "not measured" (e.g. a cache hit spends no wall time simulating).
+type HostStats struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocObjs   uint64  `json:"alloc_objs"`  // heap objects allocated during the run
+	AllocBytes  uint64  `json:"alloc_bytes"` // heap bytes allocated during the run
+	GCCycles    uint64  `json:"gc_cycles"`
+	GCSeconds   float64 `json:"gc_cpu_seconds"`
+	Goroutines  int64   `json:"goroutines"` // live goroutines at sample time
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+}
+
+// hostSamples are the runtime/metrics samples ReadHostStats reads.
+// The names are stable runtime/metrics identifiers (all present since
+// Go 1.20).
+var hostSamples = []string{
+	"/gc/heap/allocs:objects",
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/cpu/classes/gc/total:cpu-seconds",
+	"/sched/goroutines:goroutines",
+}
+
+// ReadHostStats samples the runtime's own counters. Subtract two
+// readings (Sub) to attribute allocations and GC work to the interval
+// between them.
+func ReadHostStats() HostStats {
+	samples := make([]metrics.Sample, len(hostSamples))
+	for i, name := range hostSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var h HostStats
+	h.AllocObjs = sampleUint(samples[0])
+	h.AllocBytes = sampleUint(samples[1])
+	h.GCCycles = sampleUint(samples[2])
+	h.GCSeconds = sampleFloat(samples[3])
+	h.Goroutines = int64(sampleUint(samples[4]))
+	return h
+}
+
+// Sub returns the counter deltas h - start (goroutines stay at h's
+// instantaneous reading; WallSeconds and CacheHit are not sampled by
+// ReadHostStats and pass through from h).
+func (h HostStats) Sub(start HostStats) HostStats {
+	h.AllocObjs -= start.AllocObjs
+	h.AllocBytes -= start.AllocBytes
+	h.GCCycles -= start.GCCycles
+	h.GCSeconds -= start.GCSeconds
+	return h
+}
+
+func sampleUint(s metrics.Sample) uint64 {
+	if s.Value.Kind() == metrics.KindUint64 {
+		return s.Value.Uint64()
+	}
+	return 0
+}
+
+func sampleFloat(s metrics.Sample) float64 {
+	if s.Value.Kind() == metrics.KindFloat64 {
+		return s.Value.Float64()
+	}
+	return 0
+}
+
+// Ledger appends Records to a writer as JSONL, safe for concurrent
+// use (the sweep runner's workers report from multiple goroutines).
+// The zero value discards records; use NewLedger/OpenLedger.
+type Ledger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLedger writes records to w.
+func NewLedger(w io.Writer) *Ledger { return &Ledger{w: w} }
+
+// OpenLedger opens (creating or appending) a JSONL ledger file.
+// Close the returned file when done.
+func OpenLedger(path string) (*Ledger, *os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: open ledger: %w", err)
+	}
+	return NewLedger(f), f, nil
+}
+
+// Append writes one record as a single JSON line.
+func (l *Ledger) Append(r Record) error {
+	if l == nil || l.w == nil {
+		return nil
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("obs: marshal ledger record: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("obs: append ledger record: %w", err)
+	}
+	return nil
+}
+
+// ReadLedger parses a JSONL ledger stream, skipping blank lines.
+func ReadLedger(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("obs: ledger line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read ledger: %w", err)
+	}
+	return out, nil
+}
+
+// ReadLedgerFile parses a JSONL ledger file.
+func ReadLedgerFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open ledger: %w", err)
+	}
+	defer f.Close()
+	return ReadLedger(f)
+}

@@ -22,6 +22,8 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -42,6 +44,86 @@ type Metric struct {
 	Max   float64 `json:"max,omitempty"`
 	P50   float64 `json:"p50,omitempty"`
 	P99   float64 `json:"p99,omitempty"`
+}
+
+// activeFields maps each metric type to the fields that are meaningful
+// for it — the fields MarshalJSON always emits, zero or not.
+var activeFields = map[string][]string{
+	"counter":   {"count"},
+	"gauge":     {"value"},
+	"mean":      {"count", "mean", "min", "max"},
+	"histogram": {"count", "mean", "min", "max", "p50", "p99"},
+}
+
+// MarshalJSON emits the metric with its type's active fields always
+// present, so a counter at Count 0 ({"type":"counter","count":0}) is
+// distinguishable from an absent or corrupted field set — the plain
+// struct tags' omitempty made the two byte-identical. Inactive fields
+// (always zero by construction) stay omitted. Unknown types fall back
+// to emitting every non-zero field. Floats are clamped like
+// formatFloat (NaN/Inf to 0), so marshaling never fails.
+//
+// This governs the encoding/json path only (sweep cache entries,
+// figures sidecars); Snapshot.WriteJSON keeps its original
+// omit-all-zeros encoding so existing golden snapshot files stay
+// byte-identical.
+func (m Metric) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(`{"type":` + quote(m.Type))
+	fields := activeFields[m.Type]
+	if fields == nil {
+		// Unknown type: preserve whatever is set.
+		for _, f := range []string{"count", "value", "mean", "min", "max", "p50", "p99"} {
+			if m.field(f) != 0 {
+				fields = append(fields, f)
+			}
+		}
+	}
+	for _, f := range fields {
+		b.WriteString("," + quote(f) + ":")
+		if f == "count" {
+			fmt.Fprintf(&b, "%d", m.Count)
+		} else {
+			b.WriteString(formatFloat(m.field(f)))
+		}
+	}
+	b.WriteString("}")
+	return b.Bytes(), nil
+}
+
+// field returns the named field's value as a float64 (Count included,
+// exact below 2^53 — metric counts in practice).
+func (m Metric) field(name string) float64 {
+	switch name {
+	case "count":
+		return float64(m.Count)
+	case "value":
+		return m.Value
+	case "mean":
+		return m.Mean
+	case "min":
+		return m.Min
+	case "max":
+		return m.Max
+	case "p50":
+		return m.P50
+	case "p99":
+		return m.P99
+	}
+	panic(fmt.Sprintf("obs: unknown metric field %q", name))
+}
+
+// UnmarshalJSON decodes both the explicit encoding MarshalJSON writes
+// and the legacy omitempty encoding (absent fields zero), so old sweep
+// cache entries keep decoding.
+func (m *Metric) UnmarshalJSON(data []byte) error {
+	type plain Metric // no methods: plain decode, no recursion
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	*m = Metric(p)
+	return nil
 }
 
 // Snapshot is a point-in-time reading of every registered metric,

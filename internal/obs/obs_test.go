@@ -158,6 +158,74 @@ func TestFormatFloat(t *testing.T) {
 func nan() float64 { z := 0.0; return z / z }
 func inf() float64 { z := 0.0; return 1 / z }
 
+// TestMetricJSONRoundTrip pins the omitempty fix: the active fields of
+// each metric type are always emitted, zero or not, so a counter at 0
+// is distinguishable from an absent field, and decoding either the new
+// explicit encoding or the legacy omitempty encoding reproduces the
+// struct.
+func TestMetricJSONRoundTrip(t *testing.T) {
+	cases := []Metric{
+		{Type: "counter", Count: 0},
+		{Type: "counter", Count: 42},
+		{Type: "gauge", Value: 0},
+		{Type: "gauge", Value: 0.375},
+		{Type: "mean", Count: 2, Mean: 15, Min: 10, Max: 20},
+		{Type: "mean"}, // never observed: all zeros, still explicit
+		{Type: "histogram", Count: 2, Mean: 4, Min: 3, Max: 5, P50: 3, P99: 5},
+	}
+	for _, m := range cases {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", m, err)
+		}
+		var back Metric
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != m {
+			t.Errorf("round trip %+v -> %s -> %+v", m, data, back)
+		}
+	}
+
+	// The ambiguity itself: zero-count counter and zero-value gauge now
+	// serialize with their active field explicit.
+	counter, _ := json.Marshal(Metric{Type: "counter"})
+	if want := `{"type":"counter","count":0}`; string(counter) != want {
+		t.Errorf("zero counter = %s, want %s", counter, want)
+	}
+	gauge, _ := json.Marshal(Metric{Type: "gauge"})
+	if want := `{"type":"gauge","value":0}`; string(gauge) != want {
+		t.Errorf("zero gauge = %s, want %s", gauge, want)
+	}
+
+	// Legacy omitempty encodings (absent fields) still decode.
+	var legacy Metric
+	if err := json.Unmarshal([]byte(`{"type": "counter"}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Type != "counter" || legacy.Count != 0 {
+		t.Errorf("legacy decode = %+v", legacy)
+	}
+
+	// Snapshots of metrics round-trip through encoding/json (the sweep
+	// cache path) including inactive-field omission.
+	snap := Snapshot{
+		"a.counter": {Type: "counter", Count: 7},
+		"b.gauge":   {Type: "gauge", Value: 2.5},
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back["a.counter"] != snap["a.counter"] || back["b.gauge"] != snap["b.gauge"] {
+		t.Errorf("snapshot round trip = %+v", back)
+	}
+}
+
 func TestPollCounters(t *testing.T) {
 	k := sim.NewKernel()
 
@@ -178,11 +246,12 @@ func TestPollCounters(t *testing.T) {
 	end := k.Run(nil)
 	// The workload's final event at cycle 100 ties the poll at 100; the
 	// poll (scheduled earlier) fires first, still sees pending work, and
-	// trails by exactly one interval — the documented worst case.
+	// trails by exactly one interval — the documented worst case. The
+	// t=0 baseline sample fires synchronously at schedule time.
 	if end != 125 {
 		t.Fatalf("run ended at %d, want 125 (at most one trailing interval)", end)
 	}
-	want := []sim.Time{25, 50, 75, 100, 125}
+	want := []sim.Time{0, 25, 50, 75, 100, 125}
 	if len(samples) != len(want) {
 		t.Fatalf("samples = %v, want %v", samples, want)
 	}
@@ -204,5 +273,53 @@ func TestPollCountersZeroIntervalClamps(t *testing.T) {
 	k.Run(nil)
 	if n == 0 {
 		t.Fatal("poller with interval 0 never fired")
+	}
+}
+
+// TestPollCountersInitialSample pins the t=0 fix: the first sample
+// fires at schedule time (before any simulation event), so the first
+// interval has a baseline to delta against, and scheduling against an
+// already-empty kernel still yields the baseline plus exactly one
+// trailing tick.
+func TestPollCountersInitialSample(t *testing.T) {
+	k := sim.NewKernel()
+	k.Schedule(7, func() {}) // one real event inside the first window
+	var samples []sim.Time
+	PollCounters(k, 25, func(now sim.Time) { samples = append(samples, now) })
+	if len(samples) != 1 || samples[0] != 0 {
+		t.Fatalf("samples before Run = %v, want the t=0 baseline", samples)
+	}
+	k.Run(nil)
+	want := []sim.Time{0, 25}
+	if len(samples) != len(want) || samples[0] != want[0] || samples[1] != want[1] {
+		t.Fatalf("samples = %v, want %v", samples, want)
+	}
+}
+
+// TestPollCountersKernelDrain covers the one-interval-trailing edge
+// case: when the last real simulation event lands strictly inside a
+// window, the poller fires once more at the next boundary (seeing an
+// empty queue, it stops), so the series trails the final event by at
+// most one interval and the kernel always drains.
+func TestPollCountersKernelDrain(t *testing.T) {
+	k := sim.NewKernel()
+	k.Schedule(60, func() {}) // last real event at cycle 60, inside (50, 75]
+	var samples []sim.Time
+	PollCounters(k, 25, func(now sim.Time) { samples = append(samples, now) })
+	end := k.Run(nil)
+	if end != 75 {
+		t.Fatalf("run ended at %d, want 75 (one trailing interval past the last event)", end)
+	}
+	want := []sim.Time{0, 25, 50, 75}
+	if len(samples) != len(want) {
+		t.Fatalf("samples = %v, want %v", samples, want)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Fatalf("samples = %v, want %v", samples, want)
+		}
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("poller left %d events queued after drain", k.Pending())
 	}
 }

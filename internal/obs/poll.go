@@ -2,11 +2,17 @@ package obs
 
 import "tilesim/internal/sim"
 
-// PollCounters schedules fn every interval cycles for as long as the
-// kernel has other work queued. It is the glue between time-series
-// trace output (Tracer.Counter events for link occupancy, MSHR
-// residency, ...) and the event-driven kernel, which has no notion of
+// PollCounters samples fn once immediately and then every interval
+// cycles for as long as the kernel has other work queued. It is the
+// glue between time-series output (Tracer.Counter events and the epoch
+// Series sampler) and the event-driven kernel, which has no notion of
 // periodic sampling on its own.
+//
+// The immediate sample anchors the series at schedule time (normally
+// t=0, before the first simulation event): without it the first
+// reading lands at `interval` and the initial window is silently
+// truncated — a counter that ramps during cycles [0, interval) would
+// fold into the first delta with no baseline row to subtract from.
 //
 // The poller must never keep a drained simulation alive: when its
 // callback fires it has already been popped from the queue, so
@@ -31,5 +37,6 @@ func PollCounters(k *sim.Kernel, interval sim.Time, fn func(now sim.Time)) {
 			k.Schedule(interval, tick)
 		}
 	}
+	fn(k.Now()) // the t=0 baseline sample, at schedule time
 	k.Schedule(interval, tick)
 }

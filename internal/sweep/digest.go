@@ -1,0 +1,29 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"tilesim/internal/cmp"
+)
+
+// Digest returns the canonical result digest for run-ledger records:
+// SHA-256 over the encoding/json serialization of the Result.
+// encoding/json sorts map keys and renders floats in shortest
+// round-trip form, so two bit-identical Results digest identically —
+// a digest mismatch between same-key ledger entries is a determinism
+// failure, which cmd/benchdiff reports as such (never as a
+// performance regression).
+func Digest(res cmp.Result) string {
+	b, err := json.Marshal(res)
+	if err != nil {
+		// Result is plain data (no channels, funcs, or cycles);
+		// marshaling cannot fail. Keep the signature error-free and make
+		// the impossible loudly visible if a future field breaks this.
+		panic(fmt.Sprintf("sweep: result digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

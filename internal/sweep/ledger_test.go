@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"tilesim/internal/cmp"
+	"tilesim/internal/compress"
+	"tilesim/internal/obs"
+)
+
+// fakeClock is an injectable monotonic wall clock: each reading
+// advances by one second.
+type fakeClock struct {
+	mu sync.Mutex
+	t  float64
+}
+
+func (c *fakeClock) now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t++
+	return c.t
+}
+
+func TestLedgerRecordsEveryJob(t *testing.T) {
+	cfgs := []cmp.RunConfig{
+		tiny("FFT", 1, compress.Spec{Kind: "none"}),
+		tiny("MP3D", 1, compress.Spec{Kind: "none"}),
+		tiny("FFT", 1, compress.Spec{Kind: "none"}), // duplicate of job 0
+	}
+	var buf bytes.Buffer
+	clock := &fakeClock{}
+	r := &Runner{
+		Jobs:      2,
+		Ledger:    obs.NewLedger(&buf),
+		WallClock: clock.now,
+	}
+	out := r.Run(cfgs)
+	if err := Err(out); err != nil {
+		t.Fatal(err)
+	}
+	if r.LedgerErr != nil {
+		t.Fatal(r.LedgerErr)
+	}
+
+	recs, err := obs.ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(cfgs) {
+		t.Fatalf("ledger has %d records, want %d", len(recs), len(cfgs))
+	}
+
+	keys := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		k, err := Key(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+	}
+	for i, rec := range recs {
+		if rec.ConfigHash != keys[i] {
+			t.Errorf("record %d hash = %s, want %s", i, rec.ConfigHash, keys[i])
+		}
+		if rec.SimVersion != cmp.SimVersion {
+			t.Errorf("record %d sim version = %s", i, rec.SimVersion)
+		}
+		if rec.Seed != uint64(cfgs[i].Seed) {
+			t.Errorf("record %d seed = %d", i, rec.Seed)
+		}
+		if rec.Digest == "" {
+			t.Errorf("record %d has no result digest", i)
+		}
+		if rec.Label == "" {
+			t.Errorf("record %d has no label", i)
+		}
+	}
+
+	// Deterministic identity: the duplicate job carries the same hash
+	// and digest as its primary — a digest mismatch between same-hash
+	// records would be a determinism failure.
+	if recs[2].ConfigHash != recs[0].ConfigHash || recs[2].Digest != recs[0].Digest {
+		t.Errorf("duplicate job identity differs from primary:\n  %+v\n  %+v", recs[0], recs[2])
+	}
+	// The duplicate never simulated: marked as a hit with no wall time.
+	if !recs[2].Host.CacheHit || recs[2].Host.WallSeconds != 0 {
+		t.Errorf("duplicate job host stats = %+v, want cache hit with zero wall", recs[2].Host)
+	}
+	// Live jobs measured wall time through the injected clock.
+	if recs[0].Host.CacheHit || recs[0].Host.WallSeconds <= 0 {
+		t.Errorf("primary job host stats = %+v, want live with positive wall", recs[0].Host)
+	}
+	if recs[0].Host.AllocObjs == 0 {
+		t.Errorf("primary job host stats = %+v, want non-zero allocations", recs[0].Host)
+	}
+}
+
+func TestLedgerErrSurfacesAppendFailure(t *testing.T) {
+	wantErr := errors.New("disk full")
+	r := &Runner{
+		Jobs:   1,
+		Ledger: obs.NewLedger(writerFunc(func(p []byte) (int, error) { return 0, wantErr })),
+	}
+	out := r.Run([]cmp.RunConfig{tiny("FFT", 1, compress.Spec{Kind: "none"})})
+	if err := Err(out); err != nil {
+		t.Fatalf("ledger failure must not fail jobs: %v", err)
+	}
+	if r.LedgerErr == nil || !errors.Is(r.LedgerErr, wantErr) {
+		t.Fatalf("LedgerErr = %v, want %v", r.LedgerErr, wantErr)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestDigestDeterministicAndSensitive(t *testing.T) {
+	cfg := tiny("FFT", 1, compress.Spec{Kind: "none"})
+	r1, err := cmp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cmp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Digest(r1) != Digest(r2) {
+		t.Error("same-seed results digest differently")
+	}
+	other, err := cmp.Run(tiny("FFT", 2, compress.Spec{Kind: "none"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Digest(r1) == Digest(other) {
+		t.Error("different-seed results digest identically")
+	}
+}
