@@ -32,19 +32,21 @@ func (f Finding) Determinism() bool { return f.Kind == "determinism" }
 // the fastest live run (minimum positive wall among non-cache-hits),
 // the standard best-of-N convention that suppresses scheduler noise.
 // With no live measurement it falls back to the last record, which
-// still carries the deterministic identity fields.
-func best(recs []obs.Record) obs.Record {
-	pick := recs[len(recs)-1]
-	found := false
+// still carries the deterministic identity fields — and reports
+// live=false, so callers must not treat the fallback's host costs
+// (wall, allocations) as a real measurement: a cache-hit record can
+// carry the costs copied from a different machine or an ancient run.
+func best(recs []obs.Record) (pick obs.Record, live bool) {
+	pick = recs[len(recs)-1]
 	for _, r := range recs {
 		if r.Host.CacheHit || r.Host.WallSeconds <= 0 {
 			continue
 		}
-		if !found || r.Host.WallSeconds < pick.Host.WallSeconds {
-			pick, found = r, true
+		if !live || r.Host.WallSeconds < pick.Host.WallSeconds {
+			pick, live = r, true
 		}
 	}
-	return pick
+	return pick, live
 }
 
 // groupKey identifies a comparable run: the config hash, or the label
@@ -79,7 +81,8 @@ func Diff(base, cur []obs.Record, th Thresholds) (findings []Finding, compared i
 	sort.Strings(keys)
 	for _, k := range keys {
 		compared++
-		b, c := best(bg[k]), best(cg[k])
+		b, bLive := best(bg[k])
+		c, cLive := best(cg[k])
 		name := b.Label
 		if name == "" {
 			name = k
@@ -95,14 +98,20 @@ func Diff(base, cur []obs.Record, th Thresholds) (findings []Finding, compared i
 				Msg: fmt.Sprintf("%s: result digest changed under %s (%s -> %s): determinism failure or unbumped SimVersion",
 					name, b.SimVersion, short(b.Digest), short(c.Digest))})
 		}
-		if th.Wall > 0 && b.Host.WallSeconds > 0 && c.Host.WallSeconds > 0 {
+		// Host-cost checks need a live measurement on both sides: a
+		// fallback (cache-hit-only) record's wall/alloc numbers are
+		// either zero — a /0 ratio is NaN or +Inf, never a meaningful
+		// regression — or copied from a run on different hardware. The
+		// positivity guards stay as a second line of defense for live
+		// records missing one metric (e.g. allocs not sampled).
+		if bLive && cLive && th.Wall > 0 && b.Host.WallSeconds > 0 && c.Host.WallSeconds > 0 {
 			if ratio := c.Host.WallSeconds / b.Host.WallSeconds; ratio > 1+th.Wall {
 				findings = append(findings, Finding{Key: k, Kind: "wall",
 					Msg: fmt.Sprintf("%s: wall time %.3fs -> %.3fs (%.2fx, budget %.2fx)",
 						name, b.Host.WallSeconds, c.Host.WallSeconds, ratio, 1+th.Wall)})
 			}
 		}
-		if th.Allocs > 0 && b.Host.AllocObjs > 0 && c.Host.AllocObjs > 0 {
+		if bLive && cLive && th.Allocs > 0 && b.Host.AllocObjs > 0 && c.Host.AllocObjs > 0 {
 			if ratio := float64(c.Host.AllocObjs) / float64(b.Host.AllocObjs); ratio > 1+th.Allocs {
 				findings = append(findings, Finding{Key: k, Kind: "allocs",
 					Msg: fmt.Sprintf("%s: allocations %d -> %d objs (%.2fx, budget %.2fx)",

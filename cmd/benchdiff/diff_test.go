@@ -98,7 +98,10 @@ func TestBestPicksFastestLiveRun(t *testing.T) {
 		rec("h1", "v1", "d1", 1.5, 1500),
 		rec("h1", "v1", "d1", 2.0, 2000),
 	}
-	b := best(recs)
+	b, live := best(recs)
+	if !live {
+		t.Fatal("live runs present but best reported no live measurement")
+	}
 	if b.Host.WallSeconds != 1.5 {
 		t.Fatalf("best wall = %v, want 1.5", b.Host.WallSeconds)
 	}
@@ -107,9 +110,80 @@ func TestBestPicksFastestLiveRun(t *testing.T) {
 func TestBestFallsBackToLastRecord(t *testing.T) {
 	hit := rec("h1", "v1", "dLast", 0, 0)
 	hit.Host.CacheHit = true
-	b := best([]obs.Record{rec("h1", "v1", "dFirst", 0, 0), hit})
+	b, live := best([]obs.Record{rec("h1", "v1", "dFirst", 0, 0), hit})
+	if live {
+		t.Fatal("fallback without live runs reported live")
+	}
 	if b.Digest != "dLast" {
 		t.Fatalf("fallback picked %q, want the last record", b.Digest)
+	}
+}
+
+// TestDiffHostChecksNeedLiveMeasurements drives the liveness gate of the
+// host-cost checks: groups whose representative is a fallback record
+// must produce no wall/alloc findings (their ratios are 0/0 NaNs, /0
+// Infs, or cross-machine numbers), while digest determinism is asserted
+// regardless of liveness.
+func TestDiffHostChecksNeedLiveMeasurements(t *testing.T) {
+	cacheHit := func(hash, digest string, wall float64, allocs uint64) obs.Record {
+		r := rec(hash, "v1", digest, wall, allocs)
+		r.Host.CacheHit = true
+		return r
+	}
+	cases := []struct {
+		name      string
+		base, cur []obs.Record
+		wantKinds []string
+	}{
+		{
+			// Base side never measured (zero wall, zero allocs): the
+			// naive alloc ratio cur/0 is +Inf and wall 0/0 is NaN;
+			// neither may fire.
+			name: "zero base measurements",
+			base: []obs.Record{rec("h1", "v1", "d1", 0, 0)},
+			cur:  []obs.Record{rec("h1", "v1", "d1", 9.0, 900000)},
+		},
+		{
+			// Both sides are cache hits carrying stale copied costs: a
+			// 100x blowup in those numbers is not a measurement.
+			name: "all cache hits with stale costs",
+			base: []obs.Record{cacheHit("h1", "d1", 1.0, 1000)},
+			cur:  []obs.Record{cacheHit("h1", "d1", 100.0, 100000)},
+		},
+		{
+			// Live on one side only: still not comparable.
+			name: "live current, fallback base",
+			base: []obs.Record{cacheHit("h1", "d1", 1.0, 1000)},
+			cur:  []obs.Record{rec("h1", "v1", "d1", 100.0, 100000)},
+		},
+		{
+			// Fallback records still assert determinism: a digest change
+			// under the same SimVersion is fatal even with no live run.
+			name:      "digest mismatch between cache hits",
+			base:      []obs.Record{cacheHit("h1", "d1", 1.0, 1000)},
+			cur:       []obs.Record{cacheHit("h1", "dOTHER", 1.0, 1000)},
+			wantKinds: []string{"determinism"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			findings, compared := Diff(tc.base, tc.cur, defaultTh)
+			if compared != 1 {
+				t.Fatalf("compared %d keys, want 1", compared)
+			}
+			var kinds []string
+			for _, f := range findings {
+				kinds = append(kinds, f.Kind)
+			}
+			if len(kinds) != len(tc.wantKinds) {
+				t.Fatalf("findings = %+v, want kinds %v", findings, tc.wantKinds)
+			}
+			for i := range kinds {
+				if kinds[i] != tc.wantKinds[i] {
+					t.Fatalf("finding %d kind = %q, want %q", i, kinds[i], tc.wantKinds[i])
+				}
+			}
+		})
 	}
 }
 

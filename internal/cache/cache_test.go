@@ -174,9 +174,9 @@ func TestMSHRLifecycle(t *testing.T) {
 		t.Fatal("complete entry reports incomplete")
 	}
 	called := 0
-	e.Waiters = append(e.Waiters, func() { called++ })
-	for _, w := range m.Free(0x40) {
-		w()
+	e.Waiters = append(e.Waiters, Waiter{Kind: WaiterDone, Done: func() { called++ }})
+	for _, w := range m.Free(0x40, nil) {
+		w.Done()
 	}
 	if called != 1 {
 		t.Fatal("waiter not returned")
@@ -218,7 +218,7 @@ func TestMSHRFreeAbsentPanics(t *testing.T) {
 			t.Fatal("free of absent entry accepted")
 		}
 	}()
-	m.Free(0x40)
+	m.Free(0x40, nil)
 }
 
 func BenchmarkCacheAccess(b *testing.B) {

@@ -1,0 +1,68 @@
+package cache
+
+import "testing"
+
+// TestMSHRFreePoisonsEntry pins the pooled-entry aliasing contract: Free
+// bumps Gen and clears the transaction state, so a pointer retained
+// across a Free is detectable (its allocation-time Gen mismatches) and a
+// re-allocation of the same block can never alias the dead transaction.
+func TestMSHRFreePoisonsEntry(t *testing.T) {
+	m := NewMSHR(4)
+
+	e := m.Allocate(0x40)
+	stale := e
+	staleGen := e.Gen
+	e.IsWrite = true
+	e.GotData = true
+	e.PendingAcks = 2
+	e.Waiters = append(e.Waiters, Waiter{Kind: WaiterDone, Done: func() {}})
+	e.Waiters = append(e.Waiters, Waiter{Kind: WaiterFinish, Addr: 0x40, Start: 7})
+	waiterCap := cap(e.Waiters)
+
+	scratch := m.Free(0x40, nil)
+	if len(scratch) != 2 {
+		t.Fatalf("Free returned %d waiters, want 2", len(scratch))
+	}
+	if scratch[0].Kind != WaiterDone || scratch[1].Kind != WaiterFinish {
+		t.Fatalf("Free reordered waiters: %+v", scratch)
+	}
+	if stale.Gen == staleGen {
+		t.Fatal("Free did not poison Gen; stale pointers are undetectable")
+	}
+	if m.Lookup(0x40) != nil {
+		t.Fatal("freed entry still addressable")
+	}
+
+	// Re-allocating the same block must reuse the pooled entry with a
+	// clean transaction and the poisoned (advanced) generation — the
+	// stale holder's recorded Gen can never match it again.
+	r := m.Allocate(0x40)
+	if r != e {
+		t.Fatal("pool did not recycle the freed entry")
+	}
+	if r.Gen == staleGen {
+		t.Fatalf("recycled Gen %d equals the stale holder's; aliasing undetectable", r.Gen)
+	}
+	if r.IsWrite || r.GotData || r.PendingAcks != 0 || len(r.Waiters) != 0 || len(r.PartialWaiters) != 0 {
+		t.Fatalf("recycled entry retains dead-transaction state: %+v", r)
+	}
+	if cap(r.Waiters) != waiterCap {
+		t.Errorf("recycled waiter backing array not retained: cap %d, want %d", cap(r.Waiters), waiterCap)
+	}
+}
+
+// TestMSHRGenerationsAdvanceMonotonically: every trip through the pool
+// bumps the generation, across distinct blocks sharing one pooled entry.
+func TestMSHRGenerationsAdvanceMonotonically(t *testing.T) {
+	m := NewMSHR(4)
+	var last uint64
+	for i, block := range []uint64{0x40, 0x80, 0xc0, 0x100} {
+		e := m.Allocate(block)
+		if i > 0 && e.Gen <= last {
+			t.Fatalf("trip %d: Gen %d did not advance past %d", i, e.Gen, last)
+		}
+		last = e.Gen
+		e.GotData = true
+		m.Free(block, nil)
+	}
+}

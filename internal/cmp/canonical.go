@@ -19,7 +19,11 @@ import "fmt"
 // switched from the ad-hoc `+0.999999` ceiling to a fuzz-tolerant
 // math.Ceil — exact products such as 5 cycles x 0.2 now scale to 1
 // cycle, not 2, shifting results for fractional-scale ablations.
-const SimVersion = "tilesim-sim-v4"
+// v5: series-enabled Results changed shape: the epoch table is closed
+// at the execution window's end (Series.Finish) — mid-drain trailing
+// rows are dropped and a final partial epoch flushes the remaining
+// increments, so delta columns sum to the run's snapshot totals.
+const SimVersion = "tilesim-sim-v5"
 
 // Canonical returns a stable one-line encoding of every
 // simulation-relevant field of the configuration. Two configurations

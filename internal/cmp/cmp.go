@@ -372,9 +372,10 @@ func (s *System) Run() (Result, error) {
 	if s.tracer != nil {
 		s.startCounterPoller()
 	}
+	var series *obs.Series
 	var seriesData *obs.SeriesData
 	if s.cfg.SeriesInterval > 0 {
-		seriesData = s.startSeries()
+		series, seriesData = s.startSeries()
 	}
 	s.K.Run(nil)
 
@@ -397,6 +398,13 @@ func (s *System) Run() (Result, error) {
 	if s.Net.InFlight() != 0 || s.Proto.OutstandingTransactions() != 0 {
 		return Result{}, fmt.Errorf("cmp: %d messages / %d transactions outstanding after drain",
 			s.Net.InFlight(), s.Proto.OutstandingTransactions())
+	}
+	if series != nil {
+		// Close the epoch table at the execution window's end: drop
+		// mid-drain rows the trailing poller sampled past it and flush
+		// the final partial epoch, so delta columns sum to the run's
+		// snapshot totals.
+		series.Finish(execCycles)
 	}
 
 	// Everything below reports the measurement window: the run minus

@@ -43,14 +43,15 @@ func (s *System) SetTracer(t *obs.Tracer) {
 // kernel. Called from Run when SeriesInterval is positive; the sampler
 // stops itself when the event queue drains, and — like every obs hook
 // — only reads state, so attaching it never changes a simulated
-// outcome.
-func (s *System) startSeries() *obs.SeriesData {
+// outcome. Run calls Finish on the returned Series once the execution
+// window is known, flushing the final partial epoch.
+func (s *System) startSeries() (*obs.Series, *obs.SeriesData) {
 	se := obs.NewSeries(sim.Time(s.cfg.SeriesInterval))
 	se.Delta("sim.events", s.K.Processed)
 	s.Net.RegisterSeries(se)
 	s.Proto.RegisterSeries(se)
 	s.Mgr.RegisterSeries(se)
-	return se.Start(s.K)
+	return se, se.Start(s.K)
 }
 
 // startCounterPoller samples the occupancy time series into the trace

@@ -132,6 +132,61 @@ func TestSeriesNoSimulationFeedback(t *testing.T) {
 	}
 }
 
+// TestSeriesFinishClosesAtRunEnd runs with a sampling interval that
+// does not divide the execution window and asserts the Finish contract
+// end-to-end: the table's last row lands exactly on ExecCycles (no
+// mid-drain rows survive), and every delta column that shadows a
+// registry counter sums to that counter's end-of-run Snapshot total —
+// the final partial epoch accounts for every increment the grid missed.
+func TestSeriesFinishClosesAtRunEnd(t *testing.T) {
+	for name, cfg := range seriesConfigs() {
+		cfg.SeriesInterval = 509 // prime: never divides the window
+		t.Run(name, func(t *testing.T) {
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := r.Series
+			if d.Rows() < 2 {
+				t.Fatalf("series has %d rows", d.Rows())
+			}
+			if r.ExecCycles%uint64(cfg.SeriesInterval) == 0 {
+				t.Fatalf("interval %d divides the %d-cycle window; the test needs a partial epoch", cfg.SeriesInterval, r.ExecCycles)
+			}
+			last := d.Times[d.Rows()-1]
+			if last != r.ExecCycles {
+				t.Errorf("last row at cycle %d, want the execution end %d", last, r.ExecCycles)
+			}
+			for _, ts := range d.Times {
+				if ts > r.ExecCycles {
+					t.Errorf("row at cycle %d lies beyond the execution end %d", ts, r.ExecCycles)
+				}
+			}
+			// Every series column that shares a name with a registry
+			// counter is a delta view of the same underlying count, so
+			// its column sum must equal the snapshot total.
+			checked := 0
+			for i, colName := range d.Columns {
+				m, ok := r.Metrics[colName]
+				if !ok || m.Type != "counter" {
+					continue
+				}
+				var sum float64
+				for row := 0; row < d.Rows(); row++ {
+					sum += d.Row(row)[i]
+				}
+				if sum != float64(m.Count) {
+					t.Errorf("column %s sums to %v, want the snapshot total %d", colName, sum, m.Count)
+				}
+				checked++
+			}
+			if checked < 5 {
+				t.Fatalf("only %d counter-backed columns checked; the cross-check lost its teeth", checked)
+			}
+		})
+	}
+}
+
 // TestSeriesColumnsMatchConfig spot-checks that the assembled series
 // carries the families the config implies: plane and coverage columns
 // always, fault columns only under injection.

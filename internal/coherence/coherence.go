@@ -106,10 +106,54 @@ type Protocol struct {
 
 	nextTxn uint64
 
+	// pool recycles message headers: msg draws from it and Deliver
+	// releases each header once its dispatch returns.
+	pool noc.Pool
+	// freeJobs pools deferred-send jobs (sendLater), so delaying a
+	// message costs no allocation in steady state.
+	freeJobs *sendJob
+
 	// Observability (obs.go): optional tracer and the chip-wide
 	// MSHR-residency distribution. Reads only; never affects timing.
 	tracer        *obs.Tracer
 	mshrResidency stats.Mean
+}
+
+// sendJob is one pooled deferred send: a prebound kernel event carrying
+// the message to emit. The job returns to the pool before the send runs,
+// so a send that synchronously schedules another deferred send can reuse
+// it immediately.
+type sendJob struct {
+	p    *Protocol
+	m    *noc.Message
+	fn   sim.Event
+	next *sendJob
+}
+
+func (j *sendJob) run() {
+	p, m := j.p, j.m
+	j.m = nil
+	j.next = p.freeJobs
+	p.freeJobs = j
+	p.send(m)
+}
+
+// sendLater emits m after delay cycles, through a pooled job instead of
+// a per-call closure. Jobs scheduled at equal delays fire in call order
+// (kernel FIFO), matching the closure version bit for bit.
+func (p *Protocol) sendLater(m *noc.Message, delay sim.Time) {
+	j := p.freeJobs
+	if j == nil {
+		//tilesim:allocok pool miss: one deferred-send job, reused for the rest of the run
+		j = &sendJob{p: p}
+		//tilesim:allocok pool miss: the job's prebound event, bound once per pooled job
+		j.fn = j.run
+	} else {
+		p.freeJobs = j.next
+		j.next = nil
+	}
+	j.m = m
+	p.k.Schedule(delay, j.fn)
 }
 
 // New builds the protocol. send is invoked for every outgoing message
@@ -159,6 +203,10 @@ func (p *Protocol) Deliver(m *noc.Message) {
 	default:
 		panic(fmt.Sprintf("coherence: undeliverable message type %v", m.Type))
 	}
+	// Dispatch extracted everything it needs (controllers never retain a
+	// header): the header returns to the pool here, the single release
+	// point of every delivered message.
+	p.pool.Put(m)
 }
 
 func (p *Protocol) txn() uint64 {
@@ -166,10 +214,12 @@ func (p *Protocol) txn() uint64 {
 	return p.nextTxn
 }
 
-// msg builds a protocol message with simulator-tracked address.
+// msg builds a protocol message with simulator-tracked address. Headers
+// come from the protocol's pool; Deliver recycles them.
 func (p *Protocol) msg(t noc.Type, src, dst int, addr uint64, txn uint64) *noc.Message {
-	//tilesim:allocok one message header per protocol message; its lifetime crosses the mesh, pooling tracked in ROADMAP
-	return &noc.Message{Type: t, Src: src, Dst: dst, Addr: addr, Txn: txn}
+	m := p.pool.Get()
+	m.Type, m.Src, m.Dst, m.Addr, m.Txn = t, src, dst, addr, txn
+	return m
 }
 
 // OutstandingTransactions reports protocol liveness state for drain

@@ -1,0 +1,80 @@
+package coherence
+
+// This file holds the plumbing of the prebound pending-state machines
+// (DESIGN.md §16): fixed-latency continuations that used to be one
+// closure per reference/transaction are now value records pushed onto a
+// per-controller FIFO, paired with a single prebound kernel event per
+// queue. Because every push on a given queue schedules the same
+// constant delay, kernel fire order equals push order equals pop order,
+// so the restructuring is bit-identical to the closure version while
+// allocating nothing in steady state.
+
+// fifo is a reusable FIFO of value records: push appends, pop advances
+// a head index, and the backing slice rewinds once drained so a
+// steady-state queue never reallocates.
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) push(v T) {
+	q.items = append(q.items, v)
+}
+
+func (q *fifo[T]) pop() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release references for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
+func (q *fifo[T]) len() int { return len(q.items) - q.head }
+
+// l1Access is one pending core access, dispatched after the L1 hit
+// latency (the old per-reference Load/Store closure).
+type l1Access struct {
+	addr    uint64
+	isWrite bool
+	done    func()
+}
+
+// l1Retry is one MSHR-full miss retry, dispatched after the fixed
+// backoff (the old per-miss retry closure).
+type l1Retry struct {
+	block uint64
+	req   int // noc.Type, kept opaque to keep the record flat
+	done  func()
+}
+
+// l1FwdReply is one intervention reply burst, dispatched after the L1
+// access latency (the old respond closure of onFwd).
+type l1FwdReply struct {
+	block   uint64
+	replyTo int
+	txn     uint64
+	dirty   bool
+	noCopy  bool
+}
+
+// homeReq is one home-bound request or replacement: the fields the
+// directory needs from the message, extracted at delivery so the
+// message header itself is never retained (it returns to the pool when
+// Deliver's dispatch ends). Used both for the tag-latency dispatch
+// queue and for requests parked behind a busy directory entry.
+type homeReq struct {
+	typ   int // noc.Type, kept opaque to keep the record flat
+	src   int
+	txn   uint64
+	block uint64
+}
+
+// homeFill is one pending memory fill (or its victim-busy retry),
+// dispatched after the memory latency (the old fillL2 closure).
+type homeFill struct {
+	block uint64
+}

@@ -24,14 +24,25 @@ const (
 	txnGrant          // ownership granted, waiting for the requestor's OwnAck
 )
 
-// dirEntry is the directory state of one block at its home.
+// pendOp names the grant operation a fill transaction resumes with once
+// the data lands in L2 (DESIGN.md §16: the prebound encoding of the old
+// ensureData continuation closures).
+const (
+	opNone uint8 = iota
+	opGrantS
+	opGrantX
+)
+
+// dirEntry is the directory state of one block at its home. Entries are
+// pooled on the controller's freelist: release recycles empty ones and
+// entry reuses them, so steady state allocates none.
 type dirEntry struct {
 	sharers SharerSet // tiles with S copies (may be a superset)
 	owner   int       // tile with the M/E copy, or -1
 
 	busy  bool
 	kind  txnKind
-	queue []*noc.Message // requests waiting for the transaction
+	queue []homeReq // requests waiting for the transaction
 
 	// Context for the in-flight transaction.
 	requestor  int
@@ -41,7 +52,16 @@ type dirEntry struct {
 	// the transaction unbusies: the owner's Revision for interventions,
 	// the requestor's OwnAck for ownership transfers (both for FwdGetX).
 	pendingCloses int
-	afterRecall   func()
+	// Pending grant of a txnFill entry, dispatched when the fill lands.
+	pendOp  uint8
+	pendSrc int
+	pendTxn uint64
+	// fillFor is the block whose fill recalled this txnRecall victim;
+	// the fill resumes once the last recall ack arrives.
+	fillFor uint64
+
+	// next links the controller's entry freelist.
+	next *dirEntry
 }
 
 func (e *dirEntry) empty() bool {
@@ -56,10 +76,22 @@ type HomeController struct {
 
 	l2  *cache.Cache
 	dir map[uint64]*dirEntry
+	// freeEntries pools released directory entries.
+	freeEntries *dirEntry
 	// busyEntries counts dir entries with busy set, maintained by
 	// setBusy so busyCount is O(1) — it runs on every drain check and
 	// epoch-series sample, where a directory walk dominated the cost.
 	busyEntries int
+
+	// Pending-state queues with prebound dispatch events (DESIGN.md
+	// §16): each queue's pushes all schedule the same constant delay,
+	// so pop order equals push order equals the old closure fire order.
+	tagQ        fifo[homeReq]  // request/replacement, after L2TagCycles
+	fillQ       fifo[homeFill] // memory fill, after MemCycles
+	fillRetryQ  fifo[homeFill] // victim-busy fill retry, after 8 cycles
+	tagFn       sim.Event
+	fillFn      sim.Event
+	fillRetryFn sim.Event
 
 	// Statistics.
 	Requests     stats.Counter
@@ -77,12 +109,16 @@ func newHomeController(p *Protocol, id int) *HomeController {
 	// those bits are constant, so fold them out of the set index.
 	l2cfg.IndexSkipLo = HomePageShift
 	l2cfg.IndexSkipBits = bits.TrailingZeros(uint(p.cfg.Tiles))
-	return &HomeController{
+	h := &HomeController{
 		p:   p,
 		id:  id,
 		l2:  cache.New(l2cfg),
 		dir: make(map[uint64]*dirEntry),
 	}
+	h.tagFn = h.dispatchTag
+	h.fillFn = h.dispatchFill
+	h.fillRetryFn = h.dispatchFillRetry
+	return h
 }
 
 // L2 exposes the slice array (stats, tests).
@@ -92,8 +128,15 @@ func (h *HomeController) entry(block uint64) *dirEntry {
 	if e, ok := h.dir[block]; ok {
 		return e
 	}
-	//tilesim:allocok per-active-block directory entry, released when the block goes idle
-	e := &dirEntry{owner: -1}
+	e := h.freeEntries
+	if e == nil {
+		//tilesim:allocok pool miss: one directory entry, reused for the rest of the run
+		e = &dirEntry{}
+	} else {
+		h.freeEntries = e.next
+	}
+	q := e.queue[:0]
+	*e = dirEntry{owner: -1, queue: q}
 	h.dir[block] = e
 	return e
 }
@@ -101,6 +144,8 @@ func (h *HomeController) entry(block uint64) *dirEntry {
 func (h *HomeController) release(block uint64, e *dirEntry) {
 	if e.empty() {
 		delete(h.dir, block)
+		e.next = h.freeEntries
+		h.freeEntries = e
 	}
 }
 
@@ -118,7 +163,7 @@ func (h *HomeController) sortedBlocks() []uint64 {
 
 // setBusy transitions an entry's busy flag while maintaining the
 // running busy-entry count. No-op transitions are tolerated: finishTxn
-// clears a flag fillL2's continuation may already have cleared.
+// clears a flag the fill path may already have cleared.
 func (h *HomeController) setBusy(e *dirEntry, v bool) {
 	if e.busy == v {
 		return
@@ -145,7 +190,9 @@ func (h *HomeController) wantsInvAck(block uint64) bool {
 	return ok && e.busy && e.kind == txnRecall
 }
 
-// deliver handles a message addressed to this home.
+// deliver handles a message addressed to this home. Requests and
+// replacements extract their fields into a homeReq and queue behind the
+// directory/tag latency; the header itself is never retained.
 func (h *HomeController) deliver(m *noc.Message) {
 	block := m.Addr &^ uint64(noc.LineBytes-1)
 	if HomeOf(block, h.p.cfg.Tiles) != h.id {
@@ -155,12 +202,14 @@ func (h *HomeController) deliver(m *noc.Message) {
 	switch m.Type {
 	case noc.GetS, noc.GetX, noc.Upgrade:
 		h.Requests.Inc()
-		// Charge the directory/tag lookup.
-		//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
-		h.p.k.Schedule(sim.Time(h.p.cfg.L2TagCycles), func() { h.handleRequest(m, block) })
+		// Charge the directory/tag lookup. One queue serves requests and
+		// replacements: both charge the same latency, so a single FIFO
+		// preserves their relative arrival order.
+		h.tagQ.push(homeReq{typ: int(m.Type), src: m.Src, txn: m.Txn, block: block})
+		h.p.k.Schedule(sim.Time(h.p.cfg.L2TagCycles), h.tagFn)
 	case noc.WriteBack, noc.ReplacementHint:
-		//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
-		h.p.k.Schedule(sim.Time(h.p.cfg.L2TagCycles), func() { h.handleReplacement(m, block) })
+		h.tagQ.push(homeReq{typ: int(m.Type), src: m.Src, txn: m.Txn, block: block})
+		h.p.k.Schedule(sim.Time(h.p.cfg.L2TagCycles), h.tagFn)
 	case noc.Revision:
 		h.handleRevision(m, block)
 	case noc.OwnAck:
@@ -172,60 +221,75 @@ func (h *HomeController) deliver(m *noc.Message) {
 	}
 }
 
-func (h *HomeController) handleRequest(m *noc.Message, block uint64) {
-	e := h.entry(block)
-	if e.busy {
-		h.QueuedAtHome.Inc()
-		e.queue = append(e.queue, m)
-		return
-	}
-	switch m.Type {
-	case noc.GetS:
-		h.handleGetS(m, block, e)
-	case noc.GetX:
-		h.handleGetX(m, block, e)
-	case noc.Upgrade:
-		h.handleUpgrade(m, block, e)
+// dispatchTag pops one queued request or replacement after the tag
+// latency.
+func (h *HomeController) dispatchTag() {
+	r := h.tagQ.pop()
+	switch noc.Type(r.typ) {
+	case noc.GetS, noc.GetX, noc.Upgrade:
+		h.handleRequest(r)
+	case noc.WriteBack, noc.ReplacementHint:
+		h.handleReplacement(r)
 	default:
-		panic(fmt.Sprintf("coherence: home %d request dispatch got %v", h.id, m.Type))
+		panic(fmt.Sprintf("coherence: home %d tag dispatch got %v", h.id, noc.Type(r.typ)))
 	}
 }
 
-func (h *HomeController) handleGetS(m *noc.Message, block uint64, e *dirEntry) {
-	if e.owner == m.Src {
-		panic(fmt.Sprintf("coherence: home %d GetS from current owner %d for %#x", h.id, m.Src, block))
+func (h *HomeController) handleRequest(r homeReq) {
+	e := h.entry(r.block)
+	if e.busy {
+		h.QueuedAtHome.Inc()
+		e.queue = append(e.queue, r)
+		return
+	}
+	switch noc.Type(r.typ) {
+	case noc.GetS:
+		h.handleGetS(r, e)
+	case noc.GetX:
+		h.handleGetX(r, e)
+	case noc.Upgrade:
+		h.handleUpgrade(r, e)
+	default:
+		panic(fmt.Sprintf("coherence: home %d request dispatch got %v", h.id, noc.Type(r.typ)))
+	}
+}
+
+func (h *HomeController) handleGetS(r homeReq, e *dirEntry) {
+	if e.owner == r.src {
+		panic(fmt.Sprintf("coherence: home %d GetS from current owner %d for %#x", h.id, r.src, r.block))
 	}
 	if e.owner >= 0 {
 		// 3-hop read: intervene at the owner.
 		h.Forwards.Inc()
 		h.setBusy(e, true)
-		e.kind, e.requestor, e.reqType = txnFwdS, m.Src, m.Type
+		e.kind, e.requestor, e.reqType = txnFwdS, r.src, noc.Type(r.typ)
 		e.pendingCloses = 1 // the owner's Revision
-		fwd := h.p.msg(noc.FwdGetS, h.id, e.owner, block, m.Txn)
-		fwd.ReplyTo = m.Src
+		fwd := h.p.msg(noc.FwdGetS, h.id, e.owner, r.block, r.txn)
+		fwd.ReplyTo = r.src
 		h.p.send(fwd)
 		return
 	}
-	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
-	h.ensureData(block, e, func(delay sim.Time) {
-		// Directory mutation happens NOW (the serialization point);
-		// only the grant message waits for the data array.
-		var grant *noc.Message
-		if e.sharers.Empty() {
-			// Sole copy: grant E. Unlike write-ownership transfers, E
-			// grants need no completion ack: a racing recall resolves
-			// through the requestor's use-once handling (it relinquishes
-			// with a replacement hint), and racing interventions defer
-			// at the requestor until the grant lands.
-			grant = h.p.msg(noc.DataExclusive, h.id, m.Src, block, m.Txn)
-			e.owner = m.Src
-		} else {
-			grant = h.p.msg(noc.Data, h.id, m.Src, block, m.Txn)
-			e.sharers.Add(m.Src)
-		}
-		grant.DataBytes = noc.LineBytes
-		h.sendDataGrant(grant, delay)
-	})
+	h.ensureData(r.block, e, opGrantS, r.src, r.txn)
+}
+
+// grantS applies a read grant at its serialization point: the directory
+// mutates now; only the grant message waits for the data array (delay).
+func (h *HomeController) grantS(block uint64, e *dirEntry, src int, txn uint64, delay sim.Time) {
+	var grant *noc.Message
+	if e.sharers.Empty() {
+		// Sole copy: grant E. Unlike write-ownership transfers, E
+		// grants need no completion ack: a racing recall resolves
+		// through the requestor's use-once handling (it relinquishes
+		// with a replacement hint), and racing interventions defer
+		// at the requestor until the grant lands.
+		grant = h.p.msg(noc.DataExclusive, h.id, src, block, txn)
+		e.owner = src
+	} else {
+		grant = h.p.msg(noc.Data, h.id, src, block, txn)
+		e.sharers.Add(src)
+	}
+	grant.DataBytes = noc.LineBytes
+	h.sendDataGrant(grant, delay)
 }
 
 // sendDataGrant emits a data-carrying grant. Under Reply Partitioning
@@ -236,69 +300,69 @@ func (h *HomeController) sendDataGrant(grant *noc.Message, delay sim.Time) {
 		pr := h.p.msg(noc.PartialReply, grant.Src, grant.Dst, grant.Addr, grant.Txn)
 		pr.AckCount = grant.AckCount
 		grant.Relaxed = true
-		//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
-		h.p.k.Schedule(delay, func() { h.p.send(pr) })
+		h.p.sendLater(pr, delay)
 	}
-	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
-	h.p.k.Schedule(delay, func() { h.p.send(grant) })
+	h.p.sendLater(grant, delay)
 }
 
 // handleGetX covers true GetX and Upgrade requests demoted to GetX by a
 // race (the upgrader's copy was invalidated before its request reached
 // the home).
-func (h *HomeController) handleGetX(m *noc.Message, block uint64, e *dirEntry) {
-	if e.owner == m.Src {
-		panic(fmt.Sprintf("coherence: home %d GetX from current owner %d for %#x", h.id, m.Src, block))
+func (h *HomeController) handleGetX(r homeReq, e *dirEntry) {
+	if e.owner == r.src {
+		panic(fmt.Sprintf("coherence: home %d GetX from current owner %d for %#x", h.id, r.src, r.block))
 	}
 	if e.owner >= 0 {
 		h.Forwards.Inc()
 		h.setBusy(e, true)
-		e.kind, e.requestor, e.reqType = txnFwdX, m.Src, m.Type
+		e.kind, e.requestor, e.reqType = txnFwdX, r.src, noc.Type(r.typ)
 		e.pendingCloses = 2 // the owner's Revision + the requestor's OwnAck
-		fwd := h.p.msg(noc.FwdGetX, h.id, e.owner, block, m.Txn)
-		fwd.ReplyTo = m.Src
+		fwd := h.p.msg(noc.FwdGetX, h.id, e.owner, r.block, r.txn)
+		fwd.ReplyTo = r.src
 		h.p.send(fwd)
 		return
 	}
-	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
-	h.ensureData(block, e, func(delay sim.Time) {
-		others := e.sharers.Without(m.Src)
-		h.invalidateSharers(others, block, m.Src, m.Txn)
-		grant := h.p.msg(noc.Data, h.id, m.Src, block, m.Txn)
-		grant.DataBytes = noc.LineBytes
-		grant.AckCount = others.Count()
-		e.sharers.Clear()
-		e.owner = m.Src
-		// Ownership transfers stay busy until the requestor confirms
-		// completion, so recalls and interventions can never race an
-		// in-flight grant.
-		h.setBusy(e, true)
-		e.kind, e.pendingCloses = txnGrant, 1
-		h.sendDataGrant(grant, delay)
-	})
+	h.ensureData(r.block, e, opGrantX, r.src, r.txn)
 }
 
-func (h *HomeController) handleUpgrade(m *noc.Message, block uint64, e *dirEntry) {
+// grantX applies a write grant at its serialization point: invalidate
+// the other sharers, transfer ownership, and stay busy until the
+// requestor confirms completion (OwnAck), so recalls and interventions
+// can never race an in-flight grant.
+func (h *HomeController) grantX(block uint64, e *dirEntry, src int, txn uint64, delay sim.Time) {
+	others := e.sharers.Without(src)
+	h.invalidateSharers(others, block, src, txn)
+	grant := h.p.msg(noc.Data, h.id, src, block, txn)
+	grant.DataBytes = noc.LineBytes
+	grant.AckCount = others.Count()
+	e.sharers.Clear()
+	e.owner = src
+	h.setBusy(e, true)
+	e.kind, e.pendingCloses = txnGrant, 1
+	h.sendDataGrant(grant, delay)
+}
+
+func (h *HomeController) handleUpgrade(r homeReq, e *dirEntry) {
 	if e.owner >= 0 {
 		// The requestor lost its copy to a racing write: full GetX path.
-		h.handleGetX(m, block, e)
+		h.handleGetX(r, e)
 		return
 	}
-	if e.sharers.Has(m.Src) {
+	if e.sharers.Has(r.src) {
 		// Upgrade in place: invalidate the others, no data needed.
-		others := e.sharers.Without(m.Src)
-		h.invalidateSharers(others, block, m.Src, m.Txn)
-		grant := h.p.msg(noc.AckNoData, h.id, m.Src, block, m.Txn)
+		others := e.sharers.Without(r.src)
+		h.invalidateSharers(others, r.block, r.src, r.txn)
+		grant := h.p.msg(noc.AckNoData, h.id, r.src, r.block, r.txn)
 		grant.AckCount = others.Count()
 		e.sharers.Clear()
-		e.owner = m.Src
+		e.owner = r.src
 		h.setBusy(e, true)
 		e.kind, e.pendingCloses = txnGrant, 1
 		h.p.send(grant)
 		return
 	}
 	// The requestor's copy vanished (recall): needs data again.
-	h.handleGetX(m, block, e)
+	h.handleGetX(r, e)
 }
 
 func (h *HomeController) invalidateSharers(mask SharerSet, block uint64, replyTo int, txn uint64) {
@@ -327,28 +391,28 @@ func (h *HomeController) recallSharers(mask SharerSet, block uint64, txn uint64)
 	}
 }
 
-func (h *HomeController) handleReplacement(m *noc.Message, block uint64) {
-	e := h.entry(block)
+func (h *HomeController) handleReplacement(r homeReq) {
+	e := h.entry(r.block)
 	if e.busy {
 		h.QueuedAtHome.Inc()
-		e.queue = append(e.queue, m)
+		e.queue = append(e.queue, r)
 		return
 	}
-	if e.owner == m.Src {
+	if e.owner == r.src {
 		e.owner = -1
-		if m.Type == noc.WriteBack {
+		if noc.Type(r.typ) == noc.WriteBack {
 			// The line's dirty data lands in the L2 slice.
-			if line := h.l2.Probe(block); line != nil {
+			if line := h.l2.Probe(r.block); line != nil {
 				line.State = cache.Modified
 			} else {
-				panic(fmt.Sprintf("coherence: home %d writeback for L2-absent block %#x (inclusion broken)", h.id, block))
+				panic(fmt.Sprintf("coherence: home %d writeback for L2-absent block %#x (inclusion broken)", h.id, r.block))
 			}
 		}
 	}
 	// Stale replacements (ownership already moved) are acked silently.
-	ack := h.p.msg(noc.WBAck, h.id, m.Src, block, m.Txn)
+	ack := h.p.msg(noc.WBAck, h.id, r.src, r.block, r.txn)
 	h.p.send(ack)
-	h.release(block, e)
+	h.release(r.block, e)
 }
 
 func (h *HomeController) handleRevision(m *noc.Message, block uint64) {
@@ -418,11 +482,16 @@ func (h *HomeController) recallAckArrived(block uint64, e *dirEntry) {
 	}
 	e.sharers.Clear()
 	e.owner = -1
-	then := e.afterRecall
-	e.afterRecall = nil
+	fillFor := e.fillFor
+	e.fillFor = 0
 	// Complete the eviction (L2 invalidate + fill) before draining the
 	// victim's queued requests, so they observe the post-recall state.
-	then()
+	h.l2.Invalidate(block)
+	fe := h.dir[fillFor]
+	if fe == nil || !fe.busy || fe.kind != txnFill {
+		panic(fmt.Sprintf("coherence: home %d recall for %#x finished without a pending fill for %#x", h.id, block, fillFor))
+	}
+	h.finishFill(fillFor, fe)
 	h.finishTxn(block, e)
 }
 
@@ -433,28 +502,28 @@ func (h *HomeController) finishTxn(block uint64, e *dirEntry) {
 	queued := e.queue
 	e.queue = nil
 	h.release(block, e)
-	for _, m := range queued {
-		switch m.Type {
+	for _, r := range queued {
+		switch noc.Type(r.typ) {
 		case noc.GetS, noc.GetX, noc.Upgrade:
-			h.handleRequest(m, block)
+			h.handleRequest(r)
 		case noc.WriteBack, noc.ReplacementHint:
-			h.handleReplacement(m, block)
+			h.handleReplacement(r)
 		default:
-			panic(fmt.Sprintf("coherence: home %d queued %v", h.id, m.Type))
+			panic(fmt.Sprintf("coherence: home %d queued %v", h.id, noc.Type(r.typ)))
 		}
 	}
 }
 
-// ensureData runs cont once the block's data is available in the L2
-// slice, fetching from memory (and recalling an L2 victim) if needed.
-// cont runs at the transaction's serialization point and must apply its
-// directory mutations synchronously; the latency of the L2 data array is
-// passed to cont as the delay to apply to outgoing data messages. The
-// tag lookup is already charged by the caller.
-func (h *HomeController) ensureData(block uint64, e *dirEntry, cont func(delay sim.Time)) {
+// ensureData dispatches the grant op once the block's data is available
+// in the L2 slice, fetching from memory (and recalling an L2 victim) if
+// needed. The grant runs at the transaction's serialization point and
+// applies its directory mutations synchronously; the latency of the L2
+// data array is the delay applied to outgoing data messages. The tag
+// lookup is already charged by the caller.
+func (h *HomeController) ensureData(block uint64, e *dirEntry, op uint8, src int, txn uint64) {
 	if h.l2.Probe(block) != nil {
 		h.l2.Access(block) // LRU touch + hit accounting
-		cont(sim.Time(h.p.cfg.L2DataCycles))
+		h.dispatchGrant(block, e, op, src, txn, sim.Time(h.p.cfg.L2DataCycles))
 		return
 	}
 	h.l2.Access(block) // records the miss
@@ -465,35 +534,49 @@ func (h *HomeController) ensureData(block uint64, e *dirEntry, cont func(delay s
 	h.MemFetches.Inc()
 	h.setBusy(e, true)
 	e.kind = txnFill
-	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
-	h.p.k.Schedule(sim.Time(h.p.cfg.MemCycles), func() { h.fillL2(block, e, cont) })
+	e.pendOp, e.pendSrc, e.pendTxn = op, src, txn
+	h.fillQ.push(homeFill{block: block})
+	h.p.k.Schedule(sim.Time(h.p.cfg.MemCycles), h.fillFn)
+}
+
+// dispatchGrant resumes a pending grant operation.
+func (h *HomeController) dispatchGrant(block uint64, e *dirEntry, op uint8, src int, txn uint64, delay sim.Time) {
+	switch op {
+	case opGrantS:
+		h.grantS(block, e, src, txn, delay)
+	case opGrantX:
+		h.grantX(block, e, src, txn, delay)
+	default:
+		panic(fmt.Sprintf("coherence: home %d grant dispatch op %d for %#x", h.id, op, block))
+	}
+}
+
+func (h *HomeController) dispatchFill() {
+	f := h.fillQ.pop()
+	h.fillL2(f.block)
+}
+
+func (h *HomeController) dispatchFillRetry() {
+	f := h.fillRetryQ.pop()
+	h.fillL2(f.block)
 }
 
 // fillL2 inserts a memory-fetched block, recalling the victim first when
 // inclusion demands it.
-func (h *HomeController) fillL2(block uint64, e *dirEntry, cont func(delay sim.Time)) {
+func (h *HomeController) fillL2(block uint64) {
+	e := h.dir[block]
+	if e == nil || !e.busy || e.kind != txnFill {
+		panic(fmt.Sprintf("coherence: home %d fill for %#x without a fill transaction", h.id, block))
+	}
 	victim := h.pickL2Victim(block)
 	if victim == nil {
 		// Every way's block is mid-transaction; retry shortly.
-		//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
-		h.p.k.Schedule(8, func() { h.fillL2(block, e, cont) })
+		h.fillRetryQ.push(homeFill{block: block})
+		h.p.k.Schedule(8, h.fillRetryFn)
 		return
 	}
-	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
-	finish := func() {
-		h.l2.Insert(block, cache.Shared) // clean w.r.t. memory
-		// The fill transaction ends here; cont may immediately open an
-		// ownership-grant transaction on the same entry, in which case
-		// the queued requests keep waiting for its OwnAck.
-		h.setBusy(e, false)
-		e.kind = txnNone
-		cont(0)
-		if !e.busy {
-			h.finishTxn(block, e)
-		}
-	}
 	if !victim.Valid() {
-		finish()
+		h.finishFill(block, e)
 		return
 	}
 	vblock := victim.Block
@@ -501,13 +584,15 @@ func (h *HomeController) fillL2(block uint64, e *dirEntry, cont func(delay sim.T
 	if !hasDir || (ve.sharers.Empty() && ve.owner < 0) {
 		// No L1 copies: plain L2 eviction (dirty data flows to memory).
 		h.l2.Invalidate(vblock)
-		finish()
+		h.finishFill(block, e)
 		return
 	}
-	// Inclusion recall.
+	// Inclusion recall: the fill resumes from recallAckArrived once the
+	// last ack (or the owner's Revision) lands.
 	h.Recalls.Inc()
 	h.setBusy(ve, true)
 	ve.kind = txnRecall
+	ve.fillFor = block
 	if ve.owner >= 0 {
 		ve.recallAcks = 1
 		inv := h.p.msg(noc.Inv, h.id, ve.owner, vblock, h.p.txn())
@@ -518,10 +603,22 @@ func (h *HomeController) fillL2(block uint64, e *dirEntry, cont func(delay sim.T
 		ve.recallAcks = ve.sharers.Count()
 		h.recallSharers(ve.sharers, vblock, h.p.txn())
 	}
-	//tilesim:allocok per-transaction continuation: one closure per outstanding directory operation
-	ve.afterRecall = func() {
-		h.l2.Invalidate(vblock)
-		finish()
+}
+
+// finishFill completes a memory fill: the line lands in L2 and the
+// pending grant dispatches with no further data-array delay.
+func (h *HomeController) finishFill(block uint64, e *dirEntry) {
+	h.l2.Insert(block, cache.Shared) // clean w.r.t. memory
+	// The fill transaction ends here; the grant may immediately open an
+	// ownership-grant transaction on the same entry, in which case the
+	// queued requests keep waiting for its OwnAck.
+	h.setBusy(e, false)
+	e.kind = txnNone
+	op, src, txn := e.pendOp, e.pendSrc, e.pendTxn
+	e.pendOp = opNone
+	h.dispatchGrant(block, e, op, src, txn, 0)
+	if !e.busy {
+		h.finishTxn(block, e)
 	}
 }
 

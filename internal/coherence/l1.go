@@ -12,12 +12,35 @@ import (
 // L1Controller is one tile's private L1 data cache plus its MSHR file
 // and writeback buffer, driven by the core (Load/Store) and by protocol
 // messages (deliver).
+//
+// Continuations are prebound (DESIGN.md §16): each fixed-latency step
+// pushes a value record on a FIFO and schedules the queue's single
+// prebound event, and completions parked on MSHR entries are typed
+// cache.Waiter records interpreted by runWaiter — so the steady-state
+// access path allocates neither closures nor MSHR entries (the entry
+// file is pooled).
 type L1Controller struct {
 	p  *Protocol
 	id int
 
 	cache *cache.Cache
 	mshr  *cache.MSHR
+
+	// Pending-state queues, each paired with a prebound dispatch event
+	// scheduled at that queue's constant delay.
+	accessQ  fifo[l1Access]   // Load/Store -> access, after L1HitCycles
+	retryQ   fifo[l1Retry]    // MSHR-full miss retry, after 4 cycles
+	fwdQ     fifo[l1FwdReply] // intervention reply burst, after L1HitCycles
+	accessFn sim.Event
+	retryFn  sim.Event
+	fwdFn    sim.Event
+
+	// scratch receives a freed entry's waiters so they run after the
+	// entry is recycled; draining guards against reentrant drains (the
+	// waiter kinds cannot free another entry synchronously, and this
+	// pins that invariant).
+	scratch  []cache.Waiter
+	draining bool
 
 	// Statistics.
 	Loads, Stores           stats.Counter
@@ -33,12 +56,17 @@ type L1Controller struct {
 }
 
 func newL1Controller(p *Protocol, id int) *L1Controller {
-	return &L1Controller{
+	l := &L1Controller{
 		p:     p,
 		id:    id,
 		cache: cache.New(cache.L1Config()),
 		mshr:  cache.NewMSHR(p.cfg.MSHRs),
 	}
+	// One prebound event per queue, allocated once per controller.
+	l.accessFn = l.dispatchAccess
+	l.retryFn = l.dispatchRetry
+	l.fwdFn = l.dispatchFwdReply
+	return l
 }
 
 // Cache exposes the underlying array (read-only use: stats, tests).
@@ -50,8 +78,8 @@ func (l *L1Controller) Cache() *cache.Cache { return l.cache }
 //tilesim:hotpath L1 read entry, once per load reference
 func (l *L1Controller) Load(addr uint64, done func()) {
 	l.Loads.Inc()
-	//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
-	l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), func() { l.access(addr, false, done) })
+	l.accessQ.push(l1Access{addr: addr, done: done})
+	l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), l.accessFn)
 }
 
 // Store performs a write; done runs when ownership is obtained.
@@ -59,8 +87,16 @@ func (l *L1Controller) Load(addr uint64, done func()) {
 //tilesim:hotpath L1 write entry, once per store reference
 func (l *L1Controller) Store(addr uint64, done func()) {
 	l.Stores.Inc()
-	//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
-	l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), func() { l.access(addr, true, done) })
+	l.accessQ.push(l1Access{addr: addr, isWrite: true, done: done})
+	l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), l.accessFn)
+}
+
+// dispatchAccess pops one queued core access after the L1 hit latency.
+//
+//tilesim:hotpath access dispatch, once per reference
+func (l *L1Controller) dispatchAccess() {
+	a := l.accessQ.pop()
+	l.access(a.addr, a.isWrite, a.done)
 }
 
 func (l *L1Controller) access(addr uint64, isWrite bool, done func()) {
@@ -69,8 +105,7 @@ func (l *L1Controller) access(addr uint64, isWrite bool, done func()) {
 	// the access from scratch. Covers re-references to writeback-buffered
 	// blocks and (with non-blocking cores) same-block coalescing.
 	if e := l.mshr.Lookup(block); e != nil {
-		//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
-		e.Waiters = append(e.Waiters, func() { l.access(addr, isWrite, done) })
+		e.Waiters = append(e.Waiters, cache.Waiter{Kind: cache.WaiterRetry, Addr: addr, IsWrite: isWrite, Done: done})
 		return
 	}
 	line := l.cache.Access(addr)
@@ -106,15 +141,8 @@ func (l *L1Controller) access(addr uint64, isWrite bool, done func()) {
 func (l *L1Controller) startMiss(block uint64, req noc.Type, done func()) {
 	if l.mshr.Full() {
 		// All registers busy (writeback bursts): retry shortly.
-		//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
-		l.p.k.Schedule(4, func() {
-			if e := l.mshr.Lookup(block); e != nil {
-				//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
-				e.Waiters = append(e.Waiters, func() { l.retryAfter(block, req, done) })
-				return
-			}
-			l.startMiss(block, req, done)
-		})
+		l.retryQ.push(l1Retry{block: block, req: int(req), done: done})
+		l.p.k.Schedule(4, l.retryFn)
 		return
 	}
 	e := l.mshr.Allocate(block)
@@ -130,28 +158,49 @@ func (l *L1Controller) startMiss(block uint64, req noc.Type, done func()) {
 			spanID = id
 		}
 	}
-	//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
-	finish := func() {
-		l.MissLatency.Observe(float64(l.p.k.Now() - start))
-		if l.p.tracer != nil && spanID != 0 {
-			l.traceMiss(req, block, start)
-		}
-	}
+	doneW := cache.Waiter{Kind: cache.WaiterDone, Done: done}
+	finish := cache.Waiter{Kind: cache.WaiterFinish, Addr: block, Start: uint64(start), SpanID: spanID, Req: int(req)}
 	if l.p.cfg.ReplyPartitioning {
 		// The core resumes as soon as the critical word and all acks
 		// are in; the full line install happens off its back.
-		e.PartialWaiters = append(e.PartialWaiters, done, finish)
+		e.PartialWaiters = append(e.PartialWaiters, doneW, finish)
 	} else {
-		e.Waiters = append(e.Waiters, done, finish)
+		e.Waiters = append(e.Waiters, doneW, finish)
 	}
 	home := HomeOf(block, l.p.cfg.Tiles)
 	m := l.p.msg(req, l.id, home, block, l.p.txn())
 	l.p.send(m)
 }
 
-func (l *L1Controller) retryAfter(block uint64, req noc.Type, done func()) {
-	// The blocking transaction finished; the line may now be present.
-	l.access(block, req != noc.GetS, done)
+// dispatchRetry re-attempts one MSHR-full miss after the backoff: if a
+// transaction took the block meanwhile, park behind it; else start over.
+func (l *L1Controller) dispatchRetry() {
+	r := l.retryQ.pop()
+	req := noc.Type(r.req)
+	if e := l.mshr.Lookup(r.block); e != nil {
+		e.Waiters = append(e.Waiters, cache.Waiter{Kind: cache.WaiterRetry, Addr: r.block, IsWrite: req != noc.GetS, Done: r.done})
+		return
+	}
+	l.startMiss(r.block, req, r.done)
+}
+
+// runWaiter resumes one parked continuation (see cache.WaiterKind for
+// the state-machine encoding of the old per-miss closures).
+func (l *L1Controller) runWaiter(w cache.Waiter) {
+	switch w.Kind {
+	case cache.WaiterDone:
+		w.Done()
+	case cache.WaiterRetry:
+		// The blocking transaction finished; the line may now be present.
+		l.access(w.Addr, w.IsWrite, w.Done)
+	case cache.WaiterFwd:
+		l.serviceFwd(w.Addr, w.ReplyTo, w.Txn, w.IsWrite)
+	case cache.WaiterFinish:
+		l.MissLatency.Observe(float64(uint64(l.p.k.Now()) - w.Start))
+		if l.p.tracer != nil && w.SpanID != 0 {
+			l.traceMiss(noc.Type(w.Req), w.Addr, sim.Time(w.Start))
+		}
+	}
 }
 
 // deliver handles protocol messages addressed to this L1.
@@ -221,7 +270,9 @@ func (l *L1Controller) onPartial(m *noc.Message) {
 }
 
 // maybePartial resumes the core once the critical word and every ack
-// are in, possibly before the full line installs.
+// are in, possibly before the full line installs. The partial waiters
+// are only ever the demand continuation and the finish record (parked
+// at startMiss), so running them cannot re-enter this drain.
 func (l *L1Controller) maybePartial(e *cache.MSHREntry) {
 	if len(e.PartialWaiters) == 0 {
 		return
@@ -229,11 +280,19 @@ func (l *L1Controller) maybePartial(e *cache.MSHREntry) {
 	if !e.AckCounted || e.PendingAcks > 0 || !(e.GotPartial || e.GotData) {
 		return
 	}
-	ws := e.PartialWaiters
-	e.PartialWaiters = nil
-	for _, w := range ws {
-		w()
+	if l.draining {
+		panic("coherence: reentrant partial-waiter drain")
 	}
+	l.draining = true
+	l.scratch = append(l.scratch[:0], e.PartialWaiters...)
+	clear(e.PartialWaiters)
+	e.PartialWaiters = e.PartialWaiters[:0]
+	for i := range l.scratch {
+		l.runWaiter(l.scratch[i])
+	}
+	clear(l.scratch)
+	l.scratch = l.scratch[:0]
+	l.draining = false
 }
 
 func (l *L1Controller) onInvAck(m *noc.Message) {
@@ -279,9 +338,7 @@ func (l *L1Controller) maybeComplete(block uint64, e *cache.MSHREntry) {
 		home := HomeOf(block, l.p.cfg.Tiles)
 		l.p.send(l.p.msg(noc.OwnAck, l.id, home, block, l.p.txn()))
 	}
-	for _, w := range l.freeEntry(block, e) {
-		w()
-	}
+	l.freeEntry(block, e)
 	if relinquish {
 		if line := l.cache.Probe(block); line != nil {
 			l.evictLine(line)
@@ -403,34 +460,19 @@ func (l *L1Controller) onInv(m *noc.Message) {
 	}
 }
 
-// onFwd handles interventions: the home has named us owner.
+// onFwd handles interventions: the home has named us owner. The
+// message's fields are extracted here; deferred service (WaiterFwd)
+// replays them without retaining the header.
 func (l *L1Controller) onFwd(m *noc.Message, exclusive bool) {
+	l.serviceFwd(l.cache.BlockOf(m.Addr), m.ReplyTo, m.Txn, exclusive)
+}
+
+func (l *L1Controller) serviceFwd(block uint64, replyTo int, txn uint64, exclusive bool) {
 	l.Interventions.Inc()
-	block := l.cache.BlockOf(m.Addr)
-	home := HomeOf(block, l.p.cfg.Tiles)
-	//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
-	respond := func(dirty bool, fromBuffer bool) {
-		//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
-		l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), func() {
-			data := l.p.msg(noc.Data, l.id, m.ReplyTo, block, m.Txn)
-			data.DataBytes = noc.LineBytes
-			if l.p.cfg.ReplyPartitioning {
-				pr := l.p.msg(noc.PartialReply, l.id, m.ReplyTo, block, m.Txn)
-				l.p.send(pr)
-				data.Relaxed = true
-			}
-			l.p.send(data)
-			rev := l.p.msg(noc.Revision, l.id, home, block, m.Txn)
-			if dirty {
-				rev.DataBytes = noc.LineBytes
-			}
-			rev.NoCopy = exclusive || fromBuffer
-			l.p.send(rev)
-		})
-	}
 	if e := l.mshr.Lookup(block); e != nil {
 		if e.WritebackData {
-			respond(e.Dirty && !e.Forwarded, true)
+			// Raced our eviction: answer from the buffer.
+			l.queueFwdReply(block, replyTo, txn, e.Dirty && !e.Forwarded, true, exclusive)
 			e.Forwarded = true
 			return
 		}
@@ -439,8 +481,7 @@ func (l *L1Controller) onFwd(m *noc.Message, exclusive bool) {
 		// it, so service it once we complete. The completion depends
 		// only on messages already in flight, never on the intervening
 		// requestor, so this cannot deadlock.
-		//tilesim:allocok per-reference/per-miss continuation; prebound pending-state restructuring tracked in ROADMAP
-		e.Waiters = append(e.Waiters, func() { l.onFwd(m, exclusive) })
+		e.Waiters = append(e.Waiters, cache.Waiter{Kind: cache.WaiterFwd, Addr: block, ReplyTo: replyTo, Txn: txn, IsWrite: exclusive})
 		return
 	}
 	line := l.cache.Probe(block)
@@ -453,7 +494,34 @@ func (l *L1Controller) onFwd(m *noc.Message, exclusive bool) {
 	} else {
 		line.State = cache.Shared
 	}
-	respond(dirty, false)
+	l.queueFwdReply(block, replyTo, txn, dirty, false, exclusive)
+}
+
+// queueFwdReply queues the intervention's reply burst behind the L1
+// access latency: the line to the requestor (split under Reply
+// Partitioning) plus the Revision leg back to the home.
+func (l *L1Controller) queueFwdReply(block uint64, replyTo int, txn uint64, dirty, fromBuffer, exclusive bool) {
+	l.fwdQ.push(l1FwdReply{block: block, replyTo: replyTo, txn: txn, dirty: dirty, noCopy: exclusive || fromBuffer})
+	l.p.k.Schedule(sim.Time(l.p.cfg.L1HitCycles), l.fwdFn)
+}
+
+func (l *L1Controller) dispatchFwdReply() {
+	r := l.fwdQ.pop()
+	home := HomeOf(r.block, l.p.cfg.Tiles)
+	data := l.p.msg(noc.Data, l.id, r.replyTo, r.block, r.txn)
+	data.DataBytes = noc.LineBytes
+	if l.p.cfg.ReplyPartitioning {
+		pr := l.p.msg(noc.PartialReply, l.id, r.replyTo, r.block, r.txn)
+		l.p.send(pr)
+		data.Relaxed = true
+	}
+	l.p.send(data)
+	rev := l.p.msg(noc.Revision, l.id, home, r.block, r.txn)
+	if r.dirty {
+		rev.DataBytes = noc.LineBytes
+	}
+	rev.NoCopy = r.noCopy
+	l.p.send(rev)
 }
 
 func (l *L1Controller) onWBAck(m *noc.Message) {
@@ -462,16 +530,28 @@ func (l *L1Controller) onWBAck(m *noc.Message) {
 	if e == nil || !e.WritebackData {
 		panic(fmt.Sprintf("coherence: L1 %d stray WBAck for %#x", l.id, block))
 	}
-	for _, w := range l.freeEntry(block, e) {
-		w()
-	}
+	l.freeEntry(block, e)
 }
 
 // freeEntry releases the MSHR entry for block, recording its
-// allocation-to-free residency (per-tile and chip-wide).
-func (l *L1Controller) freeEntry(block uint64, e *cache.MSHREntry) []func() {
+// allocation-to-free residency (per-tile and chip-wide), and runs the
+// entry's parked waiters from the controller's scratch buffer. The
+// entry returns to the pool — poisoned, Gen bumped — before the first
+// waiter runs, so a waiter that re-allocates the same block can never
+// alias the dead transaction's state.
+func (l *L1Controller) freeEntry(block uint64, e *cache.MSHREntry) {
 	res := float64(uint64(l.p.k.Now()) - e.AllocAt)
 	l.MSHRResidency.Observe(res)
 	l.p.mshrResidency.Observe(res)
-	return l.mshr.Free(block)
+	if l.draining {
+		panic("coherence: reentrant MSHR waiter drain")
+	}
+	l.draining = true
+	l.scratch = l.mshr.Free(block, l.scratch[:0])
+	for i := range l.scratch {
+		l.runWaiter(l.scratch[i])
+	}
+	clear(l.scratch)
+	l.scratch = l.scratch[:0]
+	l.draining = false
 }

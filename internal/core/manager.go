@@ -61,6 +61,10 @@ type Manager struct {
 	// deliver hands arrived messages to the protocol.
 	deliver func(*noc.Message)
 
+	// freeJobs pools tile-local delivery jobs, so the local shortcut
+	// allocates nothing in steady state.
+	freeJobs *localJob
+
 	verifyDecode bool // off for the Perfect oracle codec
 
 	// Statistics.
@@ -114,6 +118,25 @@ func New(k *sim.Kernel, net *mesh.Network, cfg Config, meter *energy.Meter, deli
 	return m
 }
 
+// localJob is one pooled tile-local delivery: a prebound kernel event
+// carrying the message past the network. The job returns to the pool
+// before the delivery runs, so a delivery that synchronously sends
+// another local message can reuse it immediately.
+type localJob struct {
+	mgr  *Manager
+	msg  *noc.Message
+	fn   sim.Event
+	next *localJob
+}
+
+func (j *localJob) run() {
+	mgr, msg := j.mgr, j.msg
+	j.msg = nil
+	j.next = mgr.freeJobs
+	mgr.freeJobs = j
+	mgr.deliver(msg)
+}
+
 // streamOf maps a compressible message type to its hardware stream.
 func streamOf(t noc.Type) compress.Stream {
 	switch t {
@@ -137,8 +160,20 @@ func (m *Manager) Send(msg *noc.Message) {
 		// that travel on the interconnect).
 		msg.SizeBytes = msg.UncompressedSize()
 		m.LocalMsgs.Inc()
-		//tilesim:allocok tile-local delivery continuation: local messages bypass the mesh
-		m.k.Schedule(m.cfg.LocalDelay, func() { m.deliver(msg) })
+		j := m.freeJobs
+		if j == nil {
+			//tilesim:allocok pool miss: one local-delivery job, reused for the rest of the run
+			j = &localJob{mgr: m}
+			//tilesim:allocok pool miss: the job's prebound event, bound once per pooled job
+			j.fn = j.run
+		} else {
+			m.freeJobs = j.next
+			j.next = nil
+		}
+		j.msg = msg
+		// LocalDelay is constant, so jobs fire in schedule order and the
+		// pooled path is bit-identical to the per-message closure.
+		m.k.Schedule(m.cfg.LocalDelay, j.fn)
 		return
 	}
 	msg.SizeBytes = msg.UncompressedSize()

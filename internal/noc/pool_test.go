@@ -1,0 +1,57 @@
+package noc
+
+import "testing"
+
+// TestPoolRecyclesAndPoisons pins the pool's aliasing contract: Put
+// clears every header field and bumps the generation, so a stale
+// pointer retained across a Put is detectable — its recorded generation
+// no longer matches the message's.
+func TestPoolRecyclesAndPoisons(t *testing.T) {
+	var p Pool
+
+	m := p.Get()
+	if m.Generation() != 0 {
+		t.Fatalf("fresh message generation = %d, want 0", m.Generation())
+	}
+	m.Type, m.Src, m.Dst, m.Addr, m.Txn = GetX, 3, 7, 0xabc, 42
+	m.SizeBytes, m.DataBytes, m.VL, m.Relaxed = 11, 64, true, true
+	stale := m
+	staleGen := m.Generation()
+
+	p.Put(m)
+	if stale.Generation() == staleGen {
+		t.Fatal("Put did not poison the generation; stale pointers are undetectable")
+	}
+
+	r := p.Get()
+	if r != m {
+		t.Fatal("pool did not recycle the released message")
+	}
+	if r.Generation() != staleGen+1 {
+		t.Fatalf("recycled generation = %d, want %d", r.Generation(), staleGen+1)
+	}
+	// Every header field must come back zero: the recycled message
+	// carries nothing of the dead transaction.
+	if r.Type != 0 || r.Src != 0 || r.Dst != 0 || r.Addr != 0 || r.Txn != 0 ||
+		r.SizeBytes != 0 || r.DataBytes != 0 || r.VL || r.Relaxed {
+		t.Fatalf("recycled message retains dead-transaction state: %+v", r)
+	}
+}
+
+// TestPoolGetsAreDistinct: two live messages never alias, and the
+// freelist is LIFO over released headers.
+func TestPoolGetsAreDistinct(t *testing.T) {
+	var p Pool
+	a, b := p.Get(), p.Get()
+	if a == b {
+		t.Fatal("two live Gets alias one message")
+	}
+	p.Put(a)
+	p.Put(b)
+	if p.Get() != b || p.Get() != a {
+		t.Fatal("freelist is not LIFO over released messages")
+	}
+	if c := p.Get(); c == a || c == b {
+		t.Fatal("empty pool handed out a live message")
+	}
+}

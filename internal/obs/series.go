@@ -38,9 +38,15 @@ type Series struct {
 	interval sim.Time
 	columns  []seriesColumn
 	started  bool
+	finished bool
 	data     *SeriesData
 	last     []uint64 // previous raw reading per column (delta kinds)
 	lastTime sim.Time
+	// raw keeps each row's post-sample counter readings (the s.last
+	// state, 2 per column) so Finish can rewind the sampler exactly to
+	// any kept row when it drops beyond-end trailing rows. Freed at
+	// Finish; without a Finish call it simply mirrors the row count.
+	raw []uint64
 }
 
 type seriesKind uint8
@@ -194,6 +200,58 @@ func (s *Series) sample(now sim.Time) {
 		//tilesim:allocok amortized slice growth, one batch of appends per epoch
 		s.data.Values = append(s.data.Values, v)
 	}
+	s.raw = append(s.raw, s.last...)
+}
+
+// Finish closes the series at the run's end cycle (in cmp, the last
+// core's completion cycle). The poller trails the final simulation
+// event, so rows can land past the end of the run — mid-drain epochs
+// that belong to no execution window. Finish drops them, folds their
+// increments into one final partial row stamped at end (width = the
+// cycles since the last full epoch), and frees the rewind state. If the
+// grid divided the run exactly, the table is left untouched. Without a
+// Finish call the series behaves as before: trailing rows stay.
+//
+// Every counter increment between the last full epoch and the drain is
+// accounted to the final row, so the column sums of a finished delta
+// column equal the end-of-run snapshot total.
+func (s *Series) Finish(end sim.Time) {
+	if !s.started {
+		panic("obs: series finished before Start")
+	}
+	if s.finished {
+		panic("obs: series finished twice")
+	}
+	s.finished = true
+	n := len(s.columns)
+	if n == 0 {
+		s.raw = nil
+		return
+	}
+	kept := len(s.data.Times)
+	for kept > 0 && s.data.Times[kept-1] > uint64(end) {
+		kept--
+	}
+	if kept < len(s.data.Times) {
+		s.data.Times = s.data.Times[:kept]
+		s.data.Values = s.data.Values[:kept*n]
+		// Rewind the sampler to the last kept row: the dropped rows'
+		// increments re-enter the deltas of the final partial row.
+		if kept > 0 {
+			copy(s.last, s.raw[(kept-1)*2*n:kept*2*n])
+			s.lastTime = sim.Time(s.data.Times[kept-1])
+		} else {
+			clear(s.last)
+			s.lastTime = 0
+		}
+	}
+	if kept > 0 && s.data.Times[kept-1] == uint64(end) {
+		// The grid divided the run exactly; nothing left to flush.
+		s.raw = nil
+		return
+	}
+	s.sample(end)
+	s.raw = nil
 }
 
 // Row returns sample row i as a sub-slice of Values.

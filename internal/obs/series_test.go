@@ -245,3 +245,147 @@ func TestSeriesZeroIntervalClamps(t *testing.T) {
 		t.Fatalf("interval = %d, want clamp to 1", s.interval)
 	}
 }
+
+// finishSeries builds the driveSeries workload plus an optional far
+// trailing no-op event (so the poller keeps sampling past the last real
+// event, producing several beyond-end rows) and returns the live Series
+// for Finish-level tests.
+func finishSeries(t *testing.T, trailingEvent sim.Time) (*sim.Kernel, *Series, *SeriesData) {
+	t.Helper()
+	k := sim.NewKernel()
+	var flits stats.Counter
+	var live int
+	var chain func()
+	chain = func() {
+		flits.Add(3)
+		live = int(k.Now() / 10)
+		if k.Now() < 93 {
+			k.Schedule(10, chain)
+		}
+	}
+	k.Schedule(3, chain)
+	if trailingEvent > 0 {
+		k.ScheduleAt(trailingEvent, func() {})
+	}
+
+	s := NewSeries(25)
+	s.Delta("net.flits", flits.Value)
+	s.Level("coh.mshr_live", func() float64 { return float64(live) })
+	s.Utilization("net.link_util", flits.Value)
+	s.DeltaRatio("compress.ratio", flits.Value, func() uint64 { return flits.Value() * 2 })
+	data := s.Start(k)
+	k.Run(nil)
+	return k, s, data
+}
+
+// TestSeriesFinishPartialEpoch drives a run whose end (cycle 93) the
+// 25-cycle grid does not divide: Finish must replace the beyond-end row
+// the trailing poll sampled at 100 with a partial epoch stamped at 93,
+// and every delta column must sum to its counter's end-of-run total.
+func TestSeriesFinishPartialEpoch(t *testing.T) {
+	_, s, d := finishSeries(t, 0)
+	s.Finish(93)
+
+	wantTimes := []uint64{0, 25, 50, 75, 93}
+	if d.Rows() != len(wantTimes) {
+		t.Fatalf("rows = %d (times %v), want %v", d.Rows(), d.Times, wantTimes)
+	}
+	for i, w := range wantTimes {
+		if d.Times[i] != w {
+			t.Fatalf("times = %v, want %v", d.Times, wantTimes)
+		}
+	}
+	col := func(name string) int {
+		for i, c := range d.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing", name)
+		return -1
+	}
+	// The final partial window (75,93] carries the events at 83 and 93,
+	// and the delta column sums to the counter's total (10 events x 3).
+	last := d.Row(d.Rows() - 1)
+	if got := last[col("net.flits")]; got != 6 {
+		t.Errorf("final partial flit delta = %v, want 6", got)
+	}
+	var sum float64
+	for i := 0; i < d.Rows(); i++ {
+		sum += d.Row(i)[col("net.flits")]
+	}
+	if sum != 30 {
+		t.Errorf("finished delta column sums to %v, want the counter total 30", sum)
+	}
+	// Utilization divides by the partial width (18 cycles), and the
+	// level reads the end-of-run value.
+	if got := last[col("net.link_util")]; got != 6.0/18.0 {
+		t.Errorf("final partial utilization = %v, want %v", got, 6.0/18.0)
+	}
+	if got := last[col("coh.mshr_live")]; got != 9 {
+		t.Errorf("final level = %v, want 9", got)
+	}
+	if got := last[col("compress.ratio")]; got != 0.5 {
+		t.Errorf("final delta ratio = %v, want 0.5", got)
+	}
+}
+
+// TestSeriesFinishRewindsTrailingRows plants a far no-op event so the
+// poller emits many beyond-end rows (100, 125, ..., past 260); Finish
+// must drop them all and still fold every increment since the last kept
+// full epoch into the one partial row — the multi-row rewind path.
+func TestSeriesFinishRewindsTrailingRows(t *testing.T) {
+	_, s, d := finishSeries(t, 260)
+	if d.Rows() < 7 {
+		t.Fatalf("trailing event produced only %d rows; want several beyond-end rows", d.Rows())
+	}
+	s.Finish(93)
+	if got := d.Times[d.Rows()-1]; got != 93 {
+		t.Fatalf("last row at %d, want the end cycle 93 (times %v)", got, d.Times)
+	}
+	col := 0
+	for i, c := range d.Columns {
+		if c == "net.flits" {
+			col = i
+		}
+	}
+	var sum float64
+	for i := 0; i < d.Rows(); i++ {
+		sum += d.Row(i)[col]
+	}
+	if sum != 30 {
+		t.Errorf("rewound delta column sums to %v, want 30", sum)
+	}
+}
+
+// TestSeriesFinishExactGridNoop: when the grid divides the run exactly
+// the table is left untouched — no empty partial row is appended.
+func TestSeriesFinishExactGridNoop(t *testing.T) {
+	_, s, d := finishSeries(t, 0)
+	before := len(d.Times)
+	s.Finish(100) // the trailing poll landed exactly on the grid
+	if len(d.Times) != before || d.Times[len(d.Times)-1] != 100 {
+		t.Fatalf("exact-grid Finish changed the table: times %v", d.Times)
+	}
+}
+
+func TestSeriesFinishPanics(t *testing.T) {
+	expectPanic := func(name, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			msg, _ := recover().(string)
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s: panic = %q, want mention of %q", name, msg, want)
+			}
+		}()
+		fn()
+	}
+	expectPanic("before start", "before Start", func() {
+		NewSeries(10).Finish(5)
+	})
+	expectPanic("double finish", "finished twice", func() {
+		_, s, _ := finishSeries(t, 0)
+		s.Finish(93)
+		s.Finish(93)
+	})
+}

@@ -33,6 +33,10 @@ type scheduledEvent struct {
 // is unique per event the ordering is a strict total order, so the pop
 // sequence of any correct min-heap is identical and the swap to a
 // concrete heap preserves bit-for-bit reproducibility.
+//
+// Since the timing wheel took over the near-future events the heap only
+// holds the far-future overflow (timers at least wheelSlots cycles out:
+// epoch-series pollers, long outage windows), so it stays tiny.
 type eventHeap []scheduledEvent
 
 func (h eventHeap) less(i, j int) bool {
@@ -85,12 +89,48 @@ func (h *eventHeap) pop() scheduledEvent {
 	return min
 }
 
-// Kernel is the event queue and simulated clock. The zero value is not
-// ready to use; call NewKernel.
+// wheelSlots is the calendar width of the timing wheel: events within
+// [now, now+wheelSlots) land in a slot, everything further out falls
+// back to the overflow heap. 512 covers every fixed component latency
+// (the 400-cycle memory access is the largest) with headroom, so the
+// dominant event population — hops, cache lookups, protocol delays —
+// never touches the heap. Must be a power of two for the slot mask.
+const wheelSlots = 512
+
+const wheelMask = wheelSlots - 1
+
+// wheelSlot is one calendar slot: a FIFO of the events scheduled for
+// the single cycle in the current window that maps to this slot. head
+// indexes the next event to pop; the backing slice is reused once the
+// slot drains, so a steady-state slot never reallocates.
+type wheelSlot struct {
+	evs  []Event
+	head int
+}
+
+// Kernel is the event queue and simulated clock: a calendar (timing
+// wheel) for the dominant near-future events plus a binary-heap
+// overflow for far-future timers. The zero value is not ready to use;
+// call NewKernel.
+//
+// Ordering invariant (why the wheel preserves the heap's exact pop
+// order, DESIGN.md §16): events pop in strictly increasing (at, seq).
+// Within one wheel slot, append order is seq order, because seq grows
+// monotonically with insertion and a slot maps to exactly one cycle of
+// the current window. Across the wheel/heap boundary, for any equal
+// `at` every heap event was inserted when at >= now+wheelSlots while
+// every wheel event was inserted when at < now+wheelSlots — so the
+// heap insertions happened at strictly earlier kernel times and carry
+// strictly smaller seq. Popping the heap first on an equal-`at` tie is
+// therefore exactly the (at, seq) order, with no migration needed.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+
+	wheel      [wheelSlots]wheelSlot
+	wheelCount int
+	overflow   eventHeap
+
 	// processed counts events executed since construction, for stats
 	// and runaway detection.
 	processed uint64
@@ -108,7 +148,7 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of events waiting in the queue.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.wheelCount + len(k.overflow) }
 
 // Schedule runs fn after delay cycles (delay 0 means later this cycle,
 // after all currently queued same-cycle events).
@@ -129,7 +169,45 @@ func (k *Kernel) ScheduleAt(at Time, fn Event) {
 		panic("sim: nil event")
 	}
 	k.seq++
-	k.events.push(scheduledEvent{at: at, seq: k.seq, fn: fn})
+	if at-k.now < wheelSlots {
+		s := &k.wheel[at&wheelMask]
+		s.evs = append(s.evs, fn)
+		k.wheelCount++
+		return
+	}
+	k.overflow.push(scheduledEvent{at: at, seq: k.seq, fn: fn})
+}
+
+// nextSlot scans the calendar from the current cycle for the earliest
+// non-empty slot. The scan distance is the idle gap to the next event,
+// so over a run it amortizes to O(elapsed cycles + events) — and the
+// event rate of a busy simulation keeps the common case at distance 0.
+// Callers must check wheelCount > 0 first.
+func (k *Kernel) nextSlot() (*wheelSlot, Time) {
+	for d := Time(0); d < wheelSlots; d++ {
+		at := k.now + d
+		s := &k.wheel[at&wheelMask]
+		if s.head < len(s.evs) {
+			return s, at
+		}
+	}
+	panic("sim: wheel count out of sync with slots")
+}
+
+// nextEventAt reports the earliest pending event's cycle.
+func (k *Kernel) nextEventAt() (Time, bool) {
+	var at Time
+	have := false
+	if len(k.overflow) > 0 {
+		at, have = k.overflow[0].at, true
+	}
+	if k.wheelCount > 0 {
+		if _, wAt := k.nextSlot(); !have || wAt < at {
+			at = wAt
+		}
+		have = true
+	}
+	return at, have
 }
 
 // Step executes the single earliest event, advancing the clock to its
@@ -137,10 +215,30 @@ func (k *Kernel) ScheduleAt(at Time, fn Event) {
 //
 //tilesim:hotpath event-loop dispatch, once per executed event
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
+	if k.wheelCount > 0 {
+		s, at := k.nextSlot()
+		// On an equal-cycle tie the overflow event always pops first:
+		// it was scheduled when this cycle was still outside the wheel
+		// window, hence strictly earlier, hence with a smaller seq (see
+		// the Kernel ordering invariant).
+		if len(k.overflow) == 0 || k.overflow[0].at > at {
+			fn := s.evs[s.head]
+			s.evs[s.head] = nil // release the callback for GC
+			s.head++
+			if s.head == len(s.evs) {
+				s.evs = s.evs[:0]
+				s.head = 0
+			}
+			k.wheelCount--
+			k.now = at
+			k.processed++
+			fn()
+			return true
+		}
+	} else if len(k.overflow) == 0 {
 		return false
 	}
-	ev := k.events.pop()
+	ev := k.overflow.pop()
 	k.now = ev.at
 	k.processed++
 	ev.fn()
@@ -164,10 +262,14 @@ func (k *Kernel) Run(stop func() bool) Time {
 // RunUntil executes events with timestamps <= deadline. Events beyond the
 // deadline remain queued; the clock is left at min(deadline, last event).
 func (k *Kernel) RunUntil(deadline Time) Time {
-	for len(k.events) > 0 && k.events[0].at <= deadline {
+	for {
+		at, ok := k.nextEventAt()
+		if !ok || at > deadline {
+			break
+		}
 		k.Step()
 	}
-	if k.now < deadline && len(k.events) > 0 {
+	if k.now < deadline && k.Pending() > 0 {
 		// Clock does not jump past queued events.
 		return k.now
 	}
