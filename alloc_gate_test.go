@@ -135,6 +135,9 @@ func TestScaleAllocGate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation inflates allocation counts")
 	}
+	if pooldebugEnabled {
+		t.Skip("pool sanitizer bookkeeping allocates by design; the gate measures the default build")
+	}
 	if testing.Short() {
 		t.Skip("1024-tile allocation measurement")
 	}
@@ -161,6 +164,9 @@ func TestScaleAllocGate(t *testing.T) {
 func TestAllocGate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation inflates allocation counts")
+	}
+	if pooldebugEnabled {
+		t.Skip("pool sanitizer bookkeeping allocates by design; the gate measures the default build")
 	}
 	if testing.Short() {
 		t.Skip("full-run allocation measurement")

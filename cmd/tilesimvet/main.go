@@ -14,18 +14,25 @@
 //	go run ./cmd/tilesimvet ./...
 //	go run ./cmd/tilesimvet -json ./internal/mesh
 //	go run ./cmd/tilesimvet -fix ./...
+//	go run ./cmd/tilesimvet -rules poollife ./...
+//	go run ./cmd/tilesimvet -rules -hotalloc,-sharedstate ./...
+//	go run ./cmd/tilesimvet -list
 //
 // -json emits the diagnostics as a JSON array, each carrying its
 // machine-applicable fix when one exists. -fix applies every suggested
 // fix (atomically, gofmt-clean, idempotently) and then reports only
-// the findings that remain unfixable.
+// the findings that remain unfixable. -rules takes a comma-separated
+// selection: plain names run only those rules, -prefixed names run
+// everything but those (disabling a rule also disables its waiver
+// audit). -list prints the rule registry, one line per rule, and
+// exits.
 //
 // The exit status is 0 when the analyzed packages are clean (under
 // -fix: when every finding was fixable), 1 when findings remain, and
 // 2 on a driver error (unparsable package, build failure, conflicting
-// fixes, ...). See DESIGN.md §8 and §12 for the rule catalog and the
-// //tilesim:ordered, //tilesim:unit and //tilesim:totalorder
-// annotations.
+// fixes, unknown rule name, ...). See DESIGN.md §8 and §12 for the
+// rule catalog and the //tilesim:ordered, //tilesim:unit and
+// //tilesim:totalorder annotations.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tilesim/internal/analysis"
 )
@@ -41,21 +49,45 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	fix := flag.Bool("fix", false, "apply suggested fixes, then report only unfixable findings")
 	escapes := flag.Bool("escapes", false, "correlate compiler escape analysis (-gcflags=-m) with //tilesim:noescape and //tilesim:hotpath annotations instead of running the syntactic rules")
+	rules := flag.String("rules", "", "comma-separated rule selection: names to run only those, -prefixed names to disable them")
+	list := flag.Bool("list", false, "print the rule registry, one line per rule, and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tilesimvet [-json] [-fix] [-escapes] <packages>\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tilesimvet [-json] [-fix] [-escapes] [-rules <selection>] [-list] <packages>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *list {
+		for _, r := range analysis.Rules() {
+			fmt.Printf("%-12s %s\n", r.Name, r.Desc)
+		}
+		return
+	}
+
+	var selection []string
+	if *rules != "" {
+		for _, name := range strings.Split(*rules, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				selection = append(selection, name)
+			}
+		}
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	run := analysis.Run
+	run := func(dir string, patterns []string) ([]analysis.Diagnostic, error) {
+		return analysis.RunRules(dir, patterns, selection)
+	}
 	if *escapes {
 		if *fix {
 			fmt.Fprintln(os.Stderr, "tilesimvet: -escapes findings have no machine-applicable fixes; drop -fix")
+			os.Exit(2)
+		}
+		if len(selection) > 0 {
+			fmt.Fprintln(os.Stderr, "tilesimvet: -escapes is not part of the rule registry; drop -rules")
 			os.Exit(2)
 		}
 		run = analysis.RunEscapes

@@ -36,7 +36,9 @@
 //	internal/sweep      parallel sweep engine + result cache  DESIGN.md §9, §15
 //	                    + ledger records
 //	internal/figures    paper table/figure regeneration       DESIGN.md §4
-//	internal/analysis   tilesimvet static-analysis rules      DESIGN.md §8
+//	internal/analysis   tilesimvet static-analysis rules      DESIGN.md §8, §17
+//	internal/pooldbg    pooled-object runtime sanitizer       DESIGN.md §17
+//	                    (-tags pooldebug)
 //	cmd/tilesim         single-run CLI
 //	cmd/tables          Tables 1-3 (analytic, no simulation)
 //	cmd/figures         Figures 2, 5, 6, 7 + ablations + the

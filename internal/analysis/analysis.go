@@ -40,6 +40,13 @@
 //   - metricskeys: obs.Registry registrations must use
 //     constant-rooted, pointer-free metric names so metric snapshots
 //     stay byte-deterministic across runs.
+//   - poollife: pooled-object lifetime discipline for the freelists
+//     behind //tilesim:pool / //tilesim:release annotations — no use
+//     after release on any path, no double release, no retention into
+//     fields/slices/closures/sim.Event payloads without a
+//     generation-snapshot guard or a reasoned //tilesim:retainok
+//     waiver, every release dominated by an acquire, no leaks (see
+//     poollife.go and DESIGN.md §17).
 //
 // Some diagnostics carry a machine-applicable SuggestedFix
 // (sort.Slice -> sort.SliceStable, panic-prefix insertion, nil-guard
@@ -111,6 +118,34 @@ const (
 	// defend: values read through the field never influence simulated
 	// behavior or results.
 	HostOnlyAnnotation = "tilesim:hostonly"
+	// PoolAnnotation marks a function declaration as a pool acquire
+	// point: calling it yields a pooled object (the function's
+	// pointer-to-named result type). The poollife rule tracks the
+	// lifetime of every value acquired this way.
+	//
+	//	//tilesim:pool
+	//	func (p *Pool) Get() *Message { ... }
+	PoolAnnotation = "tilesim:pool"
+	// ReleaseAnnotation marks a function declaration as a pool release
+	// point. Without a trailing type name the released objects are the
+	// call's pooled-pointer arguments; with one —
+	//
+	//	//tilesim:release MSHREntry
+	//	func (m *MSHR) Free(block uint64, ...) ...
+	//
+	// — the release identifies the object by key rather than by
+	// pointer, and every live local of that pooled type is considered
+	// released at the call (the MSHR.Free shape).
+	ReleaseAnnotation = "tilesim:release"
+	// RetainOKAnnotation waives one poollife escape finding (mandatory
+	// reason, stale detection, like the other waivers):
+	//
+	//	//tilesim:retainok terminal fault path: the drop event is the sole owner
+	//
+	// The contract the reason must defend: the retained pointer is
+	// either released exactly once by its new owner, or every later
+	// dereference is guarded by a generation check.
+	RetainOKAnnotation = "tilesim:retainok"
 )
 
 // Diagnostic is one finding.
@@ -148,6 +183,13 @@ type pass struct {
 	allocok  map[*ast.File]map[int]string
 	sharedok map[*ast.File]map[int]string
 	hostonly map[*ast.File]map[int]string
+	// poolacq and poolrel map file -> line -> annotation tail for the
+	// //tilesim:pool and //tilesim:release pool-API annotations (the
+	// tail of a release names the pooled type for by-key releases);
+	// retainok carries poollife escape waivers.
+	poolacq  map[*ast.File]map[int]string
+	poolrel  map[*ast.File]map[int]string
+	retainok map[*ast.File]map[int]string
 
 	report func(Diagnostic)
 }
@@ -230,9 +272,100 @@ func (m *module) passFor(pkg *types.Package) *pass {
 	return nil
 }
 
+// rule binds a registered analyzer name to its implementation: pkg
+// runs once per loaded package, mod runs once over the whole module
+// (after the reference graph is built). A rule has one or the other.
+type rule struct {
+	name string
+	desc string
+	pkg  func(*pass)
+	mod  func(*module, *graph)
+}
+
+// ruleTable registers every analyzer, in execution order. Rule names
+// match the Analyzer field of the diagnostics they emit, so -rules
+// selections and finding filters agree.
+var ruleTable = []rule{
+	{name: "determinism", desc: "no map-range order, wall-clock time, or global rand in simulator packages", pkg: checkDeterminism},
+	{name: "stablesort", desc: "sort.Slice must be sort.SliceStable or carry a //tilesim:totalorder proof", pkg: checkStableSort},
+	{name: "floatorder", desc: "no floating-point accumulation in map iteration order", pkg: checkFloatOrder},
+	{name: "units", desc: "arithmetic must not mix distinct //tilesim:unit physical units", pkg: checkUnits},
+	{name: "panics", desc: "panics in internal/ must carry a constant \"<pkg>: \"-prefixed message", pkg: checkPanics},
+	{name: "exhaustive", desc: "switches over enum-like types must cover every constant or have a default", pkg: checkExhaustive},
+	{name: "obshooks", desc: "observability hooks in loops must be nil-guarded and never box", pkg: checkObsHooks},
+	{name: "metricskeys", desc: "metric registrations must use constant-rooted, pointer-free names", pkg: checkMetricsKeys},
+	{name: "taint", desc: "no module function may transitively reach wall-clock time or global rand", mod: checkTaint},
+	{name: "canoncover", desc: "Canonical() methods must reference every exported receiver field", mod: checkCanonCover},
+	{name: "hotalloc", desc: "no allocation sources reachable from //tilesim:hotpath roots", mod: checkHotAlloc},
+	{name: "sharedstate", desc: "goroutine-reachable code must not touch unsynchronized shared state", mod: checkSharedState},
+	{name: "poollife", desc: "pooled objects: no use-after-release, double-release, unguarded retention, or leaks", mod: checkPoolLife},
+}
+
+// RuleInfo names one registered analyzer for cmd/tilesimvet -list.
+type RuleInfo struct {
+	Name string
+	Desc string
+}
+
+// Rules returns every registered analyzer in execution order.
+func Rules() []RuleInfo {
+	out := make([]RuleInfo, 0, len(ruleTable))
+	for _, r := range ruleTable {
+		out = append(out, RuleInfo{Name: r.name, Desc: r.desc})
+	}
+	return out
+}
+
+// selectRules resolves a -rules style selection into the enabled-name
+// set. Entries enable rules by name; a leading '-' disables one. If any
+// entry is a plain enable, the selection starts from only those rules;
+// otherwise it starts from all of them. Unknown names are an error.
+func selectRules(selection []string) (map[string]bool, error) {
+	known := make(map[string]bool, len(ruleTable))
+	for _, r := range ruleTable {
+		known[r.name] = true
+	}
+	enabled := make(map[string]bool, len(ruleTable))
+	explicit := false
+	for _, s := range selection {
+		if !strings.HasPrefix(s, "-") {
+			explicit = true
+		}
+	}
+	if !explicit {
+		for name := range known { //tilesim:ordered — membership set, no iteration output
+			enabled[name] = true
+		}
+	}
+	for _, s := range selection {
+		name, disable := strings.CutPrefix(s, "-")
+		if !known[name] {
+			return nil, fmt.Errorf("analysis: unknown rule %q (run tilesimvet -list for the registry)", name)
+		}
+		if disable {
+			delete(enabled, name)
+		} else {
+			enabled[name] = true
+		}
+	}
+	return enabled, nil
+}
+
 // Run loads the packages matched by patterns from dir and applies every
 // analyzer, returning the findings sorted by position.
 func Run(dir string, patterns []string) ([]Diagnostic, error) {
+	return RunRules(dir, patterns, nil)
+}
+
+// RunRules is Run restricted to a rule selection (see selectRules; nil
+// or empty runs everything). Disabling a rule also disables its waiver
+// audit, so e.g. -rules=-hotalloc does not turn every //tilesim:allocok
+// waiver into a stale-waiver finding.
+func RunRules(dir string, patterns []string, selection []string) ([]Diagnostic, error) {
+	enabled, err := selectRules(selection)
+	if err != nil {
+		return nil, err
+	}
 	pkgs, fset, err := Load(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -260,26 +393,27 @@ func Run(dir string, patterns []string) ([]Diagnostic, error) {
 			allocok:    collectReasonAnnotations(fset, pkg, AllocOKAnnotation),
 			sharedok:   collectReasonAnnotations(fset, pkg, SharedOKAnnotation),
 			hostonly:   collectReasonAnnotations(fset, pkg, HostOnlyAnnotation),
+			poolacq:    collectReasonAnnotations(fset, pkg, PoolAnnotation),
+			poolrel:    collectReasonAnnotations(fset, pkg, ReleaseAnnotation),
+			retainok:   collectReasonAnnotations(fset, pkg, RetainOKAnnotation),
 			report:     report,
 		}
 		mod.passes = append(mod.passes, p)
 		mod.targets[pkg.Path] = pkg
-		checkDeterminism(p)
-		checkStableSort(p)
-		checkFloatOrder(p)
-		checkUnits(p)
-		checkPanics(p)
-		checkExhaustive(p)
-		checkObsHooks(p)
-		checkMetricsKeys(p)
+		for _, r := range ruleTable {
+			if r.pkg != nil && enabled[r.name] {
+				r.pkg(p)
+			}
+		}
 	}
 
 	// Module-wide passes: these see every loaded package at once.
 	graph := buildGraph(mod)
-	checkTaint(mod, graph)
-	checkCanonCover(mod, graph)
-	checkHotAlloc(mod, graph)
-	checkSharedState(mod, graph)
+	for _, r := range ruleTable {
+		if r.mod != nil && enabled[r.name] {
+			r.mod(mod, graph)
+		}
+	}
 
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -311,6 +445,11 @@ func annotationRest(c *ast.Comment, annotation string) (string, bool) {
 	text = strings.TrimSpace(text)
 	rest, ok := strings.CutPrefix(text, annotation)
 	if !ok {
+		return "", false
+	}
+	// Word boundary: "//tilesim:pool miss" is the pool annotation with
+	// a tail, "//tilesim:poolish" is not the pool annotation at all.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 		return "", false
 	}
 	return strings.TrimSpace(rest), true

@@ -40,6 +40,7 @@ func TestFixtureFindings(t *testing.T) {
 		{"badseries", "metricskeys", 4},
 		{"badhotalloc", "hotalloc", 11},
 		{"badsharedstate", "sharedstate", 6},
+		{"badpoollife", "poollife", 12},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -87,6 +88,7 @@ func TestFixtureFindingsAnchored(t *testing.T) {
 		{"badseries", []int{26, 33, 39, 45}},
 		{"badhotalloc", []int{26, 28, 30, 31, 32, 37, 39, 41, 43, 54, 55}},
 		{"badsharedstate", []int{34, 37, 38, 40, 44, 58}},
+		{"badpoollife", []int{61, 70, 77, 83, 89, 96, 101, 111, 119, 122, 128, 133}},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -128,7 +130,7 @@ func TestTaintFixture(t *testing.T) {
 // new-rule fixture against its checked-in want.txt, pinning message
 // wording, positions, and ordering all at once.
 func TestGoldenFixtures(t *testing.T) {
-	for _, fixture := range []string{"badsort", "badfloat", "badtaint", "badcanon", "badmetricskeys", "badseries", "badhotalloc", "badsharedstate"} {
+	for _, fixture := range []string{"badsort", "badfloat", "badtaint", "badcanon", "badmetricskeys", "badseries", "badhotalloc", "badsharedstate", "badpoollife"} {
 		t.Run(fixture, func(t *testing.T) {
 			diags := runFixture(t, fixture)
 			var b strings.Builder
@@ -168,6 +170,9 @@ func TestFixturesCarryFixes(t *testing.T) {
 		// make-with-capacity rewrite; the other hotalloc findings need
 		// structural changes no rewrite can guess.
 		{"badhotalloc", "hotalloc", 1},
+		// Only the field store whose holder declares the hGen sibling
+		// gets the mechanical generation-snapshot insertion.
+		{"badpoollife", "poollife", 1},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -189,8 +194,56 @@ func TestFixturesCarryFixes(t *testing.T) {
 }
 
 func TestCleanFixture(t *testing.T) {
-	if diags := runFixture(t, "clean"); len(diags) != 0 {
-		t.Fatalf("clean fixture produced findings:\n%s", render(diags))
+	for _, fixture := range []string{"clean", "cleanpool"} {
+		if diags := runFixture(t, fixture); len(diags) != 0 {
+			t.Fatalf("%s fixture produced findings:\n%s", fixture, render(diags))
+		}
+	}
+}
+
+// TestRuleSelection exercises the -rules plumbing: an enable-only list
+// runs just that rule (badhotalloc has no poollife findings), a
+// disable list drops the named rule's findings (including its waiver
+// audit), and unknown names are driver errors.
+func TestRuleSelection(t *testing.T) {
+	diags, err := RunRules(".", []string{"./testdata/src/badhotalloc"}, []string{"poollife"})
+	if err != nil {
+		t.Fatalf("RunRules(poollife): %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("poollife-only run of badhotalloc produced findings:\n%s", render(diags))
+	}
+
+	diags, err = RunRules(".", []string{"./testdata/src/badpoollife"}, []string{"poollife"})
+	if err != nil {
+		t.Fatalf("RunRules(poollife): %v", err)
+	}
+	if len(diags) != 12 {
+		t.Errorf("poollife-only run of badpoollife: got %d findings, want 12:\n%s", len(diags), render(diags))
+	}
+
+	diags, err = RunRules(".", []string{"./testdata/src/badpoollife"}, []string{"-poollife"})
+	if err != nil {
+		t.Fatalf("RunRules(-poollife): %v", err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "poollife" {
+			t.Errorf("disabled rule still reported: %s", d)
+		}
+	}
+
+	if _, err := RunRules(".", []string{"./testdata/src/badpoollife"}, []string{"nosuchrule"}); err == nil {
+		t.Error("RunRules accepted an unknown rule name")
+	}
+
+	rules := Rules()
+	if len(rules) < 13 {
+		t.Fatalf("Rules() registry too small: %d", len(rules))
+	}
+	for _, r := range rules {
+		if r.Name == "" || r.Desc == "" {
+			t.Errorf("registry entry missing name or description: %+v", r)
+		}
 	}
 }
 

@@ -52,6 +52,15 @@ type graphNode struct {
 	// stored into it. hostonlyReason is the waiver's mandatory reason.
 	hostonly       bool
 	hostonlyReason string
+	// poolAcquire and poolRelease mark //tilesim:pool and
+	// //tilesim:release function declarations (the poollife rule's pool
+	// API). poolType is the pooled type key ("pkgpath.TypeName"): the
+	// result type for acquires, the annotation's named type for by-key
+	// releases (poolByType), empty for argument-based releases.
+	poolAcquire bool
+	poolRelease bool
+	poolByType  bool
+	poolType    string
 }
 
 // body returns the analyzable statement body of the node, or nil for
@@ -99,13 +108,15 @@ func buildGraph(m *module) *graph {
 					if !ok || decl.Body == nil {
 						continue
 					}
-					g.nodes[fn.FullName()] = &graphNode{
+					node := &graphNode{
 						id:   fn.FullName(),
 						name: funcDisplayName(p, decl),
 						pos:  decl.Pos(),
 						p:    p,
 						decl: decl,
 					}
+					annotatePoolNode(p, f, decl, node)
+					g.nodes[fn.FullName()] = node
 				case *ast.GenDecl:
 					if decl.Tok != token.VAR {
 						continue

@@ -1,0 +1,145 @@
+// Package cleanpool is the poollife negative control: every sanctioned
+// pooled-lifetime idiom in one file — a generation-snapshot-guarded
+// retention, a reason-bearing //tilesim:retainok waiver, a by-key
+// release (//tilesim:release entry, the MSHR.Free shape), hand-off on
+// one branch with release on the other, an acquire on every path into
+// an argument release, the read-everything-then-release-at-the-tail
+// Deliver shape, and a loop-local acquire/release pair — and must
+// produce zero findings.
+package cleanpool
+
+// entry is the pooled object.
+type entry struct {
+	key  int
+	next *entry
+	gen  uint64
+}
+
+// Generation exposes the reuse counter retention guards snapshot.
+func (e *entry) Generation() uint64 { return e.gen }
+
+// CheckAlive is the probe a retention site calls before dereferencing.
+func (e *entry) CheckAlive(gen uint64) {
+	if gen != e.gen {
+		panic("cleanpool: stale pooled entry")
+	}
+}
+
+// table owns the pool: a by-key live map over an intrusive freelist.
+type table struct {
+	live map[int]*entry
+	free *entry
+}
+
+// Alloc takes an entry from the freelist and registers it under key.
+//
+//tilesim:pool
+func (t *table) Alloc(key int) *entry {
+	e := t.free
+	if e == nil {
+		e = &entry{}
+	} else {
+		t.free = e.next
+	}
+	e.key = key
+	t.live[key] = e
+	return e
+}
+
+// Drop releases the entry registered under key — a by-key release, so
+// the annotation names the pooled type.
+//
+//tilesim:release entry
+func (t *table) Drop(key int) {
+	e := t.live[key]
+	delete(t.live, key)
+	e.gen++
+	e.next = t.free
+	t.free = e
+}
+
+// Recycle returns a detached entry to the freelist directly.
+//
+//tilesim:release
+func (t *table) Recycle(e *entry) {
+	e.gen++
+	e.next = t.free
+	t.free = e
+}
+
+// holder retains an entry together with its generation snapshot.
+type holder struct {
+	e    *entry
+	eGen uint64
+}
+
+// Probe dereferences the retained entry behind the liveness probe.
+func (h *holder) Probe() int {
+	h.e.CheckAlive(h.eGen)
+	return h.e.key
+}
+
+// retainGuarded stores the pooled pointer with a generation snapshot —
+// the sanctioned retention idiom.
+func retainGuarded(t *table, dst *holder) {
+	e := t.Alloc(1)
+	dst.eGen = e.Generation()
+	dst.e = e
+}
+
+// retainWaived retains without a snapshot but with a reasoned waiver.
+func retainWaived(reg map[int]*entry, t *table) {
+	e := t.Alloc(2)
+	//tilesim:retainok fixture: the registry owns the entry until Drop removes it
+	reg[2] = e
+}
+
+// dropByKey reads everything it needs before the by-key release.
+func dropByKey(t *table) int {
+	e := t.Alloc(3)
+	k := e.key
+	t.Drop(3)
+	return k
+}
+
+// branchRelease hands off on one path and releases on the other; the
+// handed-off path returns, so its state never merges back.
+func branchRelease(t *table, send func(*entry), cond bool) {
+	e := t.Alloc(4)
+	if cond {
+		send(e)
+		return
+	}
+	t.Recycle(e)
+}
+
+// bothBranches acquires on every path into the release, so the release
+// is dominated.
+func bothBranches(t *table, cond bool) {
+	var e *entry
+	if cond {
+		e = t.Alloc(5)
+	} else {
+		e = t.Alloc(6)
+	}
+	e.key++
+	t.Recycle(e)
+}
+
+// deliverShape is the Protocol.Deliver contract done right: extract,
+// dispatch, release at the tail, touch nothing afterwards.
+func deliverShape(t *table, sink func(int)) {
+	e := t.Alloc(7)
+	sink(e.key)
+	t.Recycle(e)
+}
+
+// loopLocal acquires and releases within each iteration; the rebind at
+// the top of the body starts a fresh lifetime every round.
+func loopLocal(t *table, n int) {
+	for i := 0; i < n; i++ {
+		e := t.Alloc(i)
+		e.key = i
+		t.Recycle(e)
+	}
+}

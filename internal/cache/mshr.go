@@ -154,12 +154,15 @@ func (m *MSHR) take(block uint64) *MSHREntry {
 	gen := e.Gen
 	ws, pws := e.Waiters[:0], e.PartialWaiters[:0]
 	*e = MSHREntry{Block: block, Gen: gen, Waiters: ws, PartialWaiters: pws}
+	entryAcquired(e)
 	return e
 }
 
 // Allocate creates an entry for block. Allocating over capacity or for a
 // block that already has an entry panics: the L1 controller must check
 // Full/Lookup first.
+//
+//tilesim:pool
 func (m *MSHR) Allocate(block uint64) *MSHREntry {
 	if m.Full() {
 		panic("cache: MSHR overflow")
@@ -176,6 +179,8 @@ func (m *MSHR) Allocate(block uint64) *MSHREntry {
 // capacity. Writeback buffers use it: an eviction triggered by a fill
 // cannot be deferred, so the buffer may transiently exceed the register
 // count (real controllers reserve dedicated writeback entries).
+//
+//tilesim:pool
 func (m *MSHR) AllocateOver(block uint64) *MSHREntry {
 	if m.entries[block] != nil {
 		panic(fmt.Sprintf("cache: duplicate MSHR entry for block %#x", block))
@@ -191,6 +196,8 @@ func (m *MSHR) AllocateOver(block uint64) *MSHREntry {
 // buffer: by the time they run the entry is already poisoned (Gen
 // bumped, fields cleared), so a waiter that re-allocates the same block
 // can never alias the dead transaction's state.
+//
+//tilesim:release MSHREntry
 func (m *MSHR) Free(block uint64, scratch []Waiter) []Waiter {
 	e := m.entries[block]
 	if e == nil {
@@ -202,6 +209,7 @@ func (m *MSHR) Free(block uint64, scratch []Waiter) []Waiter {
 	e.Waiters = e.Waiters[:0]
 	clear(e.PartialWaiters)
 	e.PartialWaiters = e.PartialWaiters[:0]
+	entryReleased(e)
 	e.Gen++ // poison: any retained pointer now has a mismatched Gen
 	e.next = m.free
 	m.free = e

@@ -124,15 +124,21 @@ type Protocol struct {
 // so a send that synchronously schedules another deferred send can reuse
 // it immediately.
 type sendJob struct {
-	p    *Protocol
-	m    *noc.Message
+	p *Protocol
+	m *noc.Message
+	// mGen snapshots m's pool generation when the job retains it
+	// (poollife clause (c)); run probes it before the send, so a header
+	// recycled while the job was pending panics under -tags pooldebug.
+	mGen uint64
 	fn   sim.Event
 	next *sendJob
 }
 
 func (j *sendJob) run() {
 	p, m := j.p, j.m
+	m.CheckAlive(j.mGen)
 	j.m = nil
+	jobReleased(j)
 	j.next = p.freeJobs
 	p.freeJobs = j
 	p.send(m)
@@ -152,6 +158,8 @@ func (p *Protocol) sendLater(m *noc.Message, delay sim.Time) {
 		p.freeJobs = j.next
 		j.next = nil
 	}
+	jobAcquired(j)
+	j.mGen = m.Generation()
 	j.m = m
 	p.k.Schedule(delay, j.fn)
 }
@@ -216,6 +224,8 @@ func (p *Protocol) txn() uint64 {
 
 // msg builds a protocol message with simulator-tracked address. Headers
 // come from the protocol's pool; Deliver recycles them.
+//
+//tilesim:pool
 func (p *Protocol) msg(t noc.Type, src, dst int, addr uint64, txn uint64) *noc.Message {
 	m := p.pool.Get()
 	m.Type, m.Src, m.Dst, m.Addr, m.Txn = t, src, dst, addr, txn

@@ -124,6 +124,10 @@ func newHomeController(p *Protocol, id int) *HomeController {
 // L2 exposes the slice array (stats, tests).
 func (h *HomeController) L2() *cache.Cache { return h.l2 }
 
+// entry returns block's directory entry, taking a pooled one (and
+// registering it) when the block is untracked.
+//
+//tilesim:pool
 func (h *HomeController) entry(block uint64) *dirEntry {
 	if e, ok := h.dir[block]; ok {
 		return e
@@ -137,13 +141,19 @@ func (h *HomeController) entry(block uint64) *dirEntry {
 	}
 	q := e.queue[:0]
 	*e = dirEntry{owner: -1, queue: q}
+	dirEntryAcquired(e)
 	h.dir[block] = e
 	return e
 }
 
+// release recycles block's entry once it holds no state — the single
+// release point of the directory-entry pool.
+//
+//tilesim:release
 func (h *HomeController) release(block uint64, e *dirEntry) {
 	if e.empty() {
 		delete(h.dir, block)
+		dirEntryReleased(e)
 		e.next = h.freeEntries
 		h.freeEntries = e
 	}

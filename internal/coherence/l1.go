@@ -539,6 +539,8 @@ func (l *L1Controller) onWBAck(m *noc.Message) {
 // entry returns to the pool — poisoned, Gen bumped — before the first
 // waiter runs, so a waiter that re-allocates the same block can never
 // alias the dead transaction's state.
+//
+//tilesim:release MSHREntry
 func (l *L1Controller) freeEntry(block uint64, e *cache.MSHREntry) {
 	res := float64(uint64(l.p.k.Now()) - e.AllocAt)
 	l.MSHRResidency.Observe(res)

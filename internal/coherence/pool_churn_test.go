@@ -1,0 +1,93 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"tilesim/internal/noc"
+	"tilesim/internal/sim"
+)
+
+// TestPoolChurnNeverHandsOutInFlightHeaders extends the aliasing
+// property of TestPooledMessagesNeverAliasInFlight by churning the
+// protocol's own header pool *while* messages are in flight: every
+// transport send runs a burst of direct Get/Put cycles against the
+// shared freelist before the delayed delivery is scheduled. The
+// property under test is the Deliver-tail release contract from the
+// other side — because the protocol only releases a header after its
+// delivery dispatch returns, no amount of interleaved Get/Put may ever
+// (a) hand a churned caller a header that is still in flight, or
+// (b) bump an in-flight header's generation. The test also requires
+// that churn actually recycled headers and that deliveries overlapped
+// churn, so the property cannot pass vacuously.
+func TestPoolChurnNeverHandsOutInFlightHeaders(t *testing.T) {
+	k := sim.NewKernel()
+	rng := rand.New(rand.NewSource(23))
+
+	inflight := map[*noc.Message]uint64{} // header -> generation at send
+	churnGen := map[*noc.Message]uint64{} // churned header -> last generation seen
+	churned, recycled := 0, 0
+
+	var p *Protocol
+	p = New(k, DefaultConfig(), func(m *noc.Message) {
+		m.SizeBytes = m.UncompressedSize()
+		if g, dup := inflight[m]; dup {
+			t.Fatalf("header sent while already in flight (generation %d, now %d)", g, m.Generation())
+		}
+		inflight[m] = m.Generation()
+
+		// Churn the shared pool while m is in flight. Get must never
+		// return an in-flight header: those are not on the freelist
+		// until Deliver's tail releases them.
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			h := p.pool.Get()
+			if g, bad := inflight[h]; bad {
+				t.Fatalf("pool handed out an in-flight header (sent at generation %d)", g)
+			}
+			if g, seen := churnGen[h]; seen && h.Generation() > g {
+				recycled++
+			}
+			churnGen[h] = h.Generation()
+			churned++
+			p.pool.Put(h)
+		}
+
+		k.Schedule(sim.Time(1+rng.Intn(30)), func() {
+			if g := inflight[m]; m.Generation() != g {
+				t.Fatalf("in-flight header recycled by pool churn: generation %d, sent at %d", m.Generation(), g)
+			}
+			delete(inflight, m)
+			p.Deliver(m)
+		})
+	})
+
+	tiles := p.Config().Tiles
+	blocks := []uint64{0x1000, 0x2000, 0x3000, 0x4000}
+	for i := 0; i < 300; i++ {
+		tile := rng.Intn(tiles)
+		addr := blocks[rng.Intn(len(blocks))] + uint64(rng.Intn(4))*64
+		done := false
+		if rng.Intn(2) == 0 {
+			p.L1(tile).Store(addr, func() { done = true })
+		} else {
+			p.L1(tile).Load(addr, func() { done = true })
+		}
+		k.Run(func() bool { return done })
+		if !done {
+			t.Fatalf("access %d never completed", i)
+		}
+	}
+	k.Run(nil)
+	if n := p.OutstandingTransactions(); n != 0 {
+		t.Fatalf("%d transactions outstanding after drain", n)
+	}
+	if len(inflight) != 0 {
+		t.Fatalf("%d messages never delivered", len(inflight))
+	}
+	if churned == 0 {
+		t.Fatal("no churn ran while messages were in flight; the interleaving proved nothing")
+	}
+	if recycled == 0 {
+		t.Fatal("churn never recycled a header; the generation check proved nothing")
+	}
+}

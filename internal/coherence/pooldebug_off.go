@@ -1,0 +1,14 @@
+//go:build !pooldebug
+
+package coherence
+
+// The pooldebug sanitizer hooks compile to nothing in the default
+// build; see internal/pooldbg.
+
+func jobAcquired(j *sendJob) {}
+
+func jobReleased(j *sendJob) {}
+
+func dirEntryAcquired(e *dirEntry) {}
+
+func dirEntryReleased(e *dirEntry) {}

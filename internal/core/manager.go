@@ -123,15 +123,22 @@ func New(k *sim.Kernel, net *mesh.Network, cfg Config, meter *energy.Meter, deli
 // before the delivery runs, so a delivery that synchronously sends
 // another local message can reuse it immediately.
 type localJob struct {
-	mgr  *Manager
-	msg  *noc.Message
-	fn   sim.Event
-	next *localJob
+	mgr *Manager
+	msg *noc.Message
+	// msgGen snapshots msg's pool generation when the job retains it
+	// (poollife clause (c)); run probes it before the delivery, so a
+	// header recycled while the job was pending panics under
+	// -tags pooldebug.
+	msgGen uint64
+	fn     sim.Event
+	next   *localJob
 }
 
 func (j *localJob) run() {
 	mgr, msg := j.mgr, j.msg
+	msg.CheckAlive(j.msgGen)
 	j.msg = nil
+	ljobReleased(j)
 	j.next = mgr.freeJobs
 	mgr.freeJobs = j
 	mgr.deliver(msg)
@@ -170,6 +177,8 @@ func (m *Manager) Send(msg *noc.Message) {
 			m.freeJobs = j.next
 			j.next = nil
 		}
+		ljobAcquired(j)
+		j.msgGen = msg.Generation()
 		j.msg = msg
 		// LocalDelay is constant, so jobs fire in schedule order and the
 		// pooled path is bit-identical to the per-message closure.

@@ -1,0 +1,10 @@
+//go:build !pooldebug
+
+package core
+
+// The pooldebug sanitizer hooks compile to nothing in the default
+// build; see internal/pooldbg.
+
+func ljobAcquired(j *localJob) {}
+
+func ljobReleased(j *localJob) {}

@@ -1,0 +1,12 @@
+//go:build pooldebug
+
+package core
+
+import "tilesim/internal/pooldbg"
+
+// Sanitizer builds forward local-delivery job transitions to the
+// pooldbg registry; double releases panic with both stacks.
+
+func ljobAcquired(j *localJob) { pooldbg.Acquire(j, 0) }
+
+func ljobReleased(j *localJob) { pooldbg.Release(j, 0) }

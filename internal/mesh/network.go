@@ -415,7 +415,12 @@ var localRoute = []int{}
 // so hops may mutate it in place. at/route hold router (node) ids, not
 // tile ids — they coincide except on a concentrated mesh.
 type transit struct {
-	m        *noc.Message
+	m *noc.Message
+	// mGen snapshots m's pool generation when the transit retains it
+	// (poollife clause (c)); delivery and drop probe it before
+	// dereferencing, so a header recycled mid-flight panics under
+	// -tags pooldebug.
+	mGen     uint64
 	route    []int
 	injected sim.Time
 	// waited accumulates output-channel queueing across hops so
@@ -445,17 +450,25 @@ type transit struct {
 	arriveFn  sim.Event // head flit reached the next router (hop tail)
 	deliverFn sim.Event // tail serialized at the destination
 	hopFn     sim.Event // retransmission entry (fault injection)
+	dropFn    sim.Event // retry-budget exhaustion (fault injection)
+	// dropFrom/dropTo park the failing link's endpoints for dropFn
+	// (set by retryHop; nothing touches a doomed transit in between).
+	dropFrom, dropTo int
 	// next links the freelist.
 	next *transit
 }
 
 // newTransit takes a transit from the freelist (or allocates the pool's
 // next entry) and initializes every in-flight field. srcNode is the
-// router the message enters at.
+// router the message enters at. The retained message is guarded by a
+// generation snapshot (mGen): delivery and drop probe it before
+// dereferencing.
+//
+//tilesim:pool
 func (n *Network) newTransit(m *noc.Message, route []int, srcNode int, injected sim.Time, flits noc.FlitCount, plane Plane, traceID uint64) *transit {
 	t := n.free
 	if t == nil {
-		//tilesim:allocok pool miss: one transit + its three continuation closures, reused for the rest of the run
+		//tilesim:allocok pool miss: one transit + its four continuation closures, reused for the rest of the run
 		t = &transit{}
 		//tilesim:allocok pool miss: closure allocated once per pooled transit, reused for the rest of the run
 		t.arriveFn = func() { n.arrive(t) }
@@ -463,10 +476,14 @@ func (n *Network) newTransit(m *noc.Message, route []int, srcNode int, injected 
 		t.deliverFn = func() { n.deliver(t) }
 		//tilesim:allocok pool miss: closure allocated once per pooled transit, reused for the rest of the run
 		t.hopFn = func() { n.hop(t) }
+		//tilesim:allocok pool miss: closure allocated once per pooled transit, reused for the rest of the run
+		t.dropFn = func() { n.drop(t, t.dropFrom, t.dropTo) }
 	} else {
 		n.free = t.next
 		t.next = nil
 	}
+	transitAcquired(t)
+	t.mGen = m.Generation()
 	t.m, t.route, t.injected, t.waited = m, route, injected, 0
 	t.at, t.idx, t.flits, t.plane = srcNode, 0, flits, plane
 	t.traceID, t.attempts, t.retryCycles = traceID, 0, 0
@@ -475,7 +492,10 @@ func (n *Network) newTransit(m *noc.Message, route []int, srcNode int, injected 
 
 // recycle returns a finished transit to the freelist. The caller must
 // be done with every field; the next Send will overwrite them.
+//
+//tilesim:release
 func (n *Network) recycle(t *transit) {
+	transitReleased(t)
 	t.m, t.route = nil, nil
 	t.next = n.free
 	n.free = t
@@ -598,9 +618,11 @@ func (n *Network) retryHop(t *transit, ch *channel, next int, entered, headArriv
 		n.tracer.Instant(obs.PidLinks, tid, "crc-nack:"+t.m.Type.String(), "fault", uint64(tail))
 	}
 	if t.attempts > n.inj.RetryLimit() {
-		from := t.at
-		//tilesim:allocok terminal fault path: at most one drop closure per dropped message, and a drop fails the run
-		n.k.ScheduleAt(tail, func() { n.drop(t, from, next) })
+		// The prebound drop continuation reads the failing link's
+		// endpoints from the transit; nothing touches a doomed transit
+		// between here and the scheduled drop.
+		t.dropFrom, t.dropTo = t.at, next
+		n.k.ScheduleAt(tail, t.dropFn)
 		return
 	}
 	n.retries.Inc()
@@ -613,6 +635,7 @@ func (n *Network) retryHop(t *transit, ch *channel, next int, entered, headArriv
 // drop removes a message whose retry budget is exhausted and records
 // the run-fatal fault error (first drop wins; later drops only count).
 func (n *Network) drop(t *transit, from, to int) {
+	t.m.CheckAlive(t.mGen)
 	n.inFlight--
 	n.dropped.Inc()
 	if n.faultErr == nil {
@@ -631,6 +654,7 @@ func (n *Network) drop(t *transit, from, to int) {
 
 func (n *Network) deliver(t *transit) {
 	m := t.m
+	m.CheckAlive(t.mGen)
 	n.inFlight--
 	class := noc.ClassOf(m.Type)
 	lat := float64(n.k.Now() - t.injected)

@@ -1,0 +1,10 @@
+//go:build !pooldebug
+
+package mesh
+
+// The pooldebug sanitizer hooks compile to nothing in the default
+// build; see internal/pooldbg.
+
+func transitAcquired(t *transit) {}
+
+func transitReleased(t *transit) {}

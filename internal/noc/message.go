@@ -250,20 +250,27 @@ type Pool struct {
 
 // Get returns a header with every field zeroed (except the pool
 // generation, which survives recycling by design).
+//
+//tilesim:pool
 func (p *Pool) Get() *Message {
 	m := p.free
 	if m == nil {
 		//tilesim:allocok pool miss: one message header, reused for the rest of the run
-		return &Message{}
+		m = &Message{}
+	} else {
+		p.free = m.next
+		m.next = nil
 	}
-	p.free = m.next
-	m.next = nil
+	poolAcquired(m)
 	return m
 }
 
 // Put resets m and pushes it on the freelist. The caller must not touch
 // m afterwards.
+//
+//tilesim:release
 func (p *Pool) Put(m *Message) {
+	poolReleased(m)
 	gen := m.gen
 	*m = Message{gen: gen + 1}
 	m.next = p.free

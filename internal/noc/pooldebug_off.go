@@ -1,0 +1,19 @@
+//go:build !pooldebug
+
+package noc
+
+// The pooldebug sanitizer hooks compile to nothing in the default
+// build: empty functions that inline away, so pooling stays
+// allocation- and branch-free on the hot path (the CI alloc gate holds
+// this at the 17k/11k ceilings).
+
+func poolAcquired(m *Message) {}
+
+func poolReleased(m *Message) {}
+
+// CheckAlive probes a generation-snapshot guard (see Generation): a
+// retention site records Generation() when it stores the header and
+// probes CheckAlive with that snapshot before dereferencing. In the
+// default build the probe is free; under -tags pooldebug a stale
+// snapshot panics with the offending lifetime's stack traces.
+func (m *Message) CheckAlive(gen uint64) {}

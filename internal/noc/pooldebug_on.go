@@ -1,0 +1,18 @@
+//go:build pooldebug
+
+package noc
+
+import "tilesim/internal/pooldbg"
+
+// Sanitizer builds forward every pool transition to the pooldbg
+// registry, which records acquire/release stacks and panics on
+// double-Put and stale CheckAlive probes.
+
+func poolAcquired(m *Message) { pooldbg.Acquire(m, m.gen) }
+
+func poolReleased(m *Message) { pooldbg.Release(m, m.gen) }
+
+// CheckAlive verifies a generation snapshot recorded at a retention
+// site, panicking with both stack traces when the header was recycled
+// since the snapshot was taken.
+func (m *Message) CheckAlive(gen uint64) { pooldbg.CheckAlive(m, gen, m.gen) }

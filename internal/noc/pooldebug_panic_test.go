@@ -1,0 +1,79 @@
+//go:build pooldebug
+
+package noc
+
+import (
+	"strings"
+	"testing"
+
+	"tilesim/internal/pooldbg"
+)
+
+// These tests inject the two pool-contract violations the pooldebug
+// sanitizer exists to catch, through the real Pool hooks (not the
+// pooldbg API directly): a double Put and a stale generation-snapshot
+// probe. They compile only under -tags pooldebug; in the default build
+// the hooks are empty and a double Put would silently corrupt the
+// freelist — which is exactly why the sanitizer build is a CI job.
+
+func TestDoublePutPanicsUnderPooldebug(t *testing.T) {
+	pooldbg.Reset()
+	var p Pool
+	m := p.Get()
+	p.Put(m)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double Put did not panic under -tags pooldebug")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", r)
+		}
+		for _, want := range []string{
+			"pooldbg: double release",
+			"noc.Message",
+			"--- first release ---",
+			"--- this release ---",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("double-Put panic missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	p.Put(m)
+}
+
+func TestStaleSnapshotProbePanicsUnderPooldebug(t *testing.T) {
+	pooldbg.Reset()
+	var p Pool
+	m := p.Get()
+	snap := m.Generation()
+	m.CheckAlive(snap) // live header, matching snapshot: silent
+
+	p.Put(m)
+	if r := p.Get(); r != m {
+		t.Fatal("pool did not recycle the header; the staleness probe proves nothing")
+	}
+	// m now belongs to a new lifetime; the old snapshot is stale.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("stale CheckAlive did not panic under -tags pooldebug")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", r)
+		}
+		for _, want := range []string{
+			"pooldbg: stale pooled reference",
+			"noc.Message",
+			"--- lifetime acquire ---",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("stale-probe panic missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	m.CheckAlive(snap)
+}

@@ -1,0 +1,5 @@
+//go:build !pooldebug
+
+package tilesim
+
+const pooldebugEnabled = false

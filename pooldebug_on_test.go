@@ -1,0 +1,10 @@
+//go:build pooldebug
+
+package tilesim
+
+// pooldebugEnabled reports whether the binary carries the pool
+// sanitizer (internal/pooldbg); the allocation gates skip themselves
+// then, because sanitizer bookkeeping (lifetime records, stack-site
+// capture) allocates on its own behalf — the budget models the default
+// build, where the hooks compile to nothing.
+const pooldebugEnabled = true
